@@ -1,0 +1,61 @@
+// Package asim2 is a Go reproduction of ASIM II, the register transfer
+// language architecture simulator from Lester Bartel's "Computer
+// Architecture Simulation Using a Register Transfer Language" (Kansas
+// State University, 1986 / MICRO 1987).
+//
+// A hardware design is described with exactly three primitives — ALU,
+// Selector and Memory — and simulated cycle by cycle. This package is
+// the stable facade; the implementation lives under internal/ (see
+// DESIGN.md for the module map):
+//
+//	spec, err := asim2.ParseString("counter", src)
+//	m, err := asim2.NewMachine(spec, asim2.Compiled, asim2.Options{Output: os.Stdout})
+//	err = m.Run(1000)
+//
+// Backends: Interp is the table-walking baseline (the original ASIM),
+// Compiled pre-compiles the specification to closures (the ASIM II
+// side of the thesis' Figure 5.1), Bytecode sits between them, and
+// the codegen packages emit stand-alone Go or Pascal simulators.
+package asim2
+
+import (
+	"io"
+
+	"repro/internal/core"
+)
+
+// Re-exported types; see internal/core and internal/sim.
+type (
+	Spec         = core.Spec
+	Machine      = core.Machine
+	Options      = core.Options
+	Backend      = core.Backend
+	Stats        = core.Stats
+	RuntimeError = core.RuntimeError
+)
+
+// Available backends.
+const (
+	Interp         = core.Interp
+	InterpNaive    = core.InterpNaive
+	Compiled       = core.Compiled
+	CompiledNoFold = core.CompiledNoFold
+	Bytecode       = core.Bytecode
+)
+
+// Backends lists every available backend.
+func Backends() []Backend { return core.Backends() }
+
+// ParseString parses and analyzes specification text.
+func ParseString(name, src string) (*Spec, error) { return core.ParseString(name, src) }
+
+// Parse parses and analyzes a specification from r.
+func Parse(name string, r io.Reader) (*Spec, error) { return core.Parse(name, r) }
+
+// ParseFile parses and analyzes a specification file.
+func ParseFile(path string) (*Spec, error) { return core.ParseFile(path) }
+
+// NewMachine builds a simulation machine for a parsed specification.
+func NewMachine(s *Spec, b Backend, opts Options) (*Machine, error) {
+	return core.NewMachine(s, b, opts)
+}

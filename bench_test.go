@@ -1,0 +1,246 @@
+package asim2
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/codegen/gogen"
+	"repro/internal/codegen/pasgen"
+	"repro/internal/core"
+	"repro/internal/isp"
+	"repro/internal/machines"
+	"repro/internal/specgen"
+)
+
+// The benchmark workload mirrors Figure 5.1: the microcoded stack
+// machine running the Sieve of Eratosthenes. sieve(48) halts after
+// ~5.8k cycles, the same scale as the thesis' 5545-cycle run.
+const benchSieveSize = 48
+
+func sieveSpec(b *testing.B) *Spec {
+	b.Helper()
+	src, err := machines.SieveSpec(benchSieveSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := ParseString("sieve", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return spec
+}
+
+func benchMachine(b *testing.B, spec *Spec, backend Backend) {
+	b.Helper()
+	m, err := NewMachine(spec, backend, Options{Output: io.Discard})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if err := m.Run(int64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// BenchmarkFigure51Sieve times one simulated cycle of the sieve
+// workload on every backend — the reproduction's core comparison.
+// The machine halts and spins after ~5.8k cycles; per-cycle cost in
+// the spin state is representative (all control selectors still
+// evaluate), so b.N cycles is a fair denominator for every backend.
+func BenchmarkFigure51Sieve(b *testing.B) {
+	spec := sieveSpec(b)
+	for _, backend := range Backends() {
+		b.Run(string(backend), func(b *testing.B) {
+			benchMachine(b, spec, backend)
+		})
+	}
+}
+
+// BenchmarkFigure51IBSM1986 times the thesis' own stack machine
+// (transcribed from Appendix E). The program counter walks off the
+// 133-word ROM shortly after cycle 5545, so the benchmark resets the
+// machine between 5545-cycle runs — exactly the Figure 5.1 workload.
+func BenchmarkFigure51IBSM1986(b *testing.B) {
+	spec, err := ParseString("ibsm1986", machines.IBSM1986())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, backend := range Backends() {
+		b.Run(string(backend), func(b *testing.B) {
+			m, err := NewMachine(spec, backend, Options{Output: io.Discard})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for done := int64(0); done < int64(b.N); {
+				chunk := int64(machines.IBSM1986Cycles)
+				if rest := int64(b.N) - done; rest < chunk {
+					chunk = rest
+				}
+				m.Reset()
+				if err := m.Run(chunk); err != nil {
+					b.Fatal(err)
+				}
+				done += chunk
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+		})
+	}
+}
+
+// BenchmarkCounter times the smallest machine, isolating per-cycle
+// framework overhead from expression evaluation cost.
+func BenchmarkCounter(b *testing.B) {
+	spec, err := ParseString("counter", machines.Counter())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, backend := range Backends() {
+		b.Run(string(backend), func(b *testing.B) {
+			benchMachine(b, spec, backend)
+		})
+	}
+}
+
+// BenchmarkTinyComputer times the Appendix F machine.
+func BenchmarkTinyComputer(b *testing.B) {
+	src, err := machines.TinyComputer(machines.TinyDivideImage(47, 5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := ParseString("tiny", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, backend := range []Backend{Interp, Bytecode, Compiled} {
+		b.Run(string(backend), func(b *testing.B) {
+			benchMachine(b, spec, backend)
+		})
+	}
+}
+
+// BenchmarkPrepare times Figure 5.1's preparation stages: ASIM's
+// "generate tables" (parse + analyze + backend construction) and ASIM
+// II's "generate code" (parse + analyze + Go emission).
+func BenchmarkPrepare(b *testing.B) {
+	src, err := machines.SieveSpec(benchSieveSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("parse-analyze", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ParseString("sieve", src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, backend := range Backends() {
+		b.Run("tables-"+string(backend), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				spec, err := ParseString("sieve", src)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := NewMachine(spec, backend, Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("generate-go", func(b *testing.B) {
+		spec, err := ParseString("sieve", src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = gogen.Generate(spec.Info, gogen.Options{Cycles: 5545})
+		}
+	})
+	b.Run("generate-pascal", func(b *testing.B) {
+		spec, err := ParseString("sieve", src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = pasgen.Generate(spec.Info)
+		}
+	})
+}
+
+// BenchmarkAblationConstFold quantifies §4.4's optimization: compiled
+// closures with and without constant folding / operation inlining.
+func BenchmarkAblationConstFold(b *testing.B) {
+	spec := sieveSpec(b)
+	b.Run("fold", func(b *testing.B) { benchMachine(b, spec, Compiled) })
+	b.Run("nofold", func(b *testing.B) { benchMachine(b, spec, CompiledNoFold) })
+}
+
+// BenchmarkAblationNameLookup quantifies the interpreter's table
+// organization: hashed name resolution versus the original ASIM's
+// linear findname scan.
+func BenchmarkAblationNameLookup(b *testing.B) {
+	spec := sieveSpec(b)
+	b.Run("indexed", func(b *testing.B) { benchMachine(b, spec, Interp) })
+	b.Run("linear", func(b *testing.B) { benchMachine(b, spec, InterpNaive) })
+}
+
+// BenchmarkISP times the instruction-set-level simulator (§1.2): the
+// abstraction the thesis positions above RTL simulation. One iteration
+// is one executed instruction.
+func BenchmarkISP(b *testing.B) {
+	prog, err := machines.SieveProgram(benchSieveSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cpu := isp.New(prog.Words)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cpu.Halted {
+			b.StopTimer()
+			cpu = isp.New(prog.Words)
+			b.StartTimer()
+		}
+		if err := cpu.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRandomSpecs times each backend across a mix of generated
+// specifications, guarding against overfitting to the sieve machine.
+func BenchmarkRandomSpecs(b *testing.B) {
+	var specs []*Spec
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		src := specgen.Generate(rng, specgen.Config{Combs: 16, Mems: 3})
+		spec, err := ParseString(fmt.Sprintf("rand%d", seed), src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		specs = append(specs, spec)
+	}
+	for _, backend := range []Backend{Interp, Bytecode, Compiled} {
+		b.Run(string(backend), func(b *testing.B) {
+			ms := make([]*core.Machine, len(specs))
+			for i, spec := range specs {
+				m, err := NewMachine(spec, backend, Options{Output: io.Discard})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ms[i] = m
+			}
+			b.ResetTimer()
+			per := int64(b.N/len(ms) + 1)
+			for _, m := range ms {
+				if err := m.Run(per); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

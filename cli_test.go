@@ -1,0 +1,121 @@
+package asim2
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI executes one of the repo's commands via `go run`.
+func runCLI(t *testing.T, stdin string, args ...string) (string, string) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Stdin = strings.NewReader(stdin)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("go run %v: %v\nstderr: %s", args, err, stderr.String())
+	}
+	return stdout.String(), stderr.String()
+}
+
+func TestCLIAsimCounter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	out, _ := runCLI(t, "", "./cmd/asim", "-cycles", "3", "testdata/counter.sim")
+	want := "Cycle   0 count= 0 carry= 0\nCycle   1 count= 1 carry= 0\nCycle   2 count= 2 carry= 0\n"
+	if out != want {
+		t.Errorf("asim output = %q", out)
+	}
+}
+
+func TestCLIAsimIBSM1986(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	out, _ := runCLI(t, "", "./cmd/asim", "-trace=false", "testdata/ibsm1986.sim")
+	if !strings.HasPrefix(out, "3\n5\n7\n11\n") || !strings.Contains(out, "43\n") {
+		t.Errorf("ibsm1986 primes = %q", out)
+	}
+}
+
+func TestCLIAsimStatsAndFault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	_, stderr := runCLI(t, "", "./cmd/asim",
+		"-trace=false", "-stats", "-cycles", "20",
+		"-fault", "count:0:stuck1:0:100", "testdata/counter.sim")
+	if !strings.Contains(stderr, "cycles: 20") {
+		t.Errorf("stats missing: %q", stderr)
+	}
+}
+
+func TestCLIAsimc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	out, _ := runCLI(t, "", "./cmd/asimc", "-lang", "pascal", "testdata/counter.sim")
+	if !strings.Contains(out, "program simulator(input, output);") {
+		t.Errorf("pascal output wrong: %q", out[:80])
+	}
+	dir := t.TempDir()
+	goOut := filepath.Join(dir, "sim.go")
+	runCLI(t, "", "./cmd/asimc", "-lang", "go", "-cycles", "5", "-o", goOut, "testdata/counter.sim")
+	data, err := os.ReadFile(goOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "package main") {
+		t.Error("go output wrong")
+	}
+}
+
+func TestCLIAsimnet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	out, _ := runCLI(t, "", "./cmd/asimnet", "testdata/tinycpu.sim")
+	for _, want := range []string{"PARTS", "128 x 10 bit RAM", "SUMMARY"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("asimnet missing %q", want)
+		}
+	}
+}
+
+func TestCLIAsimfmtIdempotent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	once, _ := runCLI(t, "", "./cmd/asimfmt", "testdata/counter.sim")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.sim")
+	if err := os.WriteFile(path, []byte(once), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	twice, _ := runCLI(t, "", "./cmd/asimfmt", path)
+	if once != twice {
+		t.Errorf("asimfmt is not idempotent:\n%s\nvs\n%s", once, twice)
+	}
+	if !strings.Contains(once, "A inc 4 count 1") {
+		t.Errorf("canonical form wrong: %q", once)
+	}
+}
+
+func TestCLIInteractiveContinuation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	out, _ := runCLI(t, "5\n0\n", "./cmd/asim", "-interactive", "-cycles", "2", "testdata/counter.sim")
+	if !strings.Contains(out, "Continue to cycle (0 to quit)") {
+		t.Errorf("missing continuation prompt: %q", out)
+	}
+	if !strings.Contains(out, "Cycle   4") || strings.Contains(out, "Cycle   5") {
+		t.Errorf("continuation ran wrong cycles: %q", out)
+	}
+}

@@ -1,0 +1,170 @@
+// Command asim simulates an ASIM II specification file — the
+// reproduction's counterpart of the original "sim [file]" tool, with
+// the backend, cycle count, tracing, statistics, VCD dumping and fault
+// injection exposed as flags.
+//
+//	asim -backend compiled -cycles 100 -trace spec.sim
+//	asim -vcd out.vcd -signals pc,ac spec.sim
+//	asim -fault 'count:0:stuck1:0:50' spec.sim
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	asim2 "repro"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/vcd"
+)
+
+func main() {
+	log.SetFlags(0)
+	backend := flag.String("backend", string(asim2.Compiled), "execution backend: interp, interp-naive, bytecode, compiled, compiled-nofold")
+	cycles := flag.Int64("cycles", 0, "cycles to run (default: the spec's '=' count, else 100)")
+	trace := flag.Bool("trace", true, "print the per-cycle trace of '*'-marked signals")
+	stats := flag.Bool("stats", false, "print execution statistics")
+	vcdPath := flag.String("vcd", "", "write a VCD waveform to this file")
+	signals := flag.String("signals", "", "comma-separated VCD signals (default: traced names)")
+	faultSpecs := flag.String("fault", "", "inject faults: comp:bit:kind:from[:until][,...] with kind stuck0|stuck1|flip")
+	warn := flag.Bool("warnings", true, "print analyzer warnings")
+	interactive := flag.Bool("interactive", false, "after the cycles run, prompt 'Continue to cycle (0 to quit)' as the original simulator did")
+	extended := flag.Bool("modules", false, "accept the module dialect (D/E/U, the section 5.4 extension)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		log.Fatal("usage: asim [flags] spec.sim")
+	}
+	var spec *asim2.Spec
+	var err error
+	if *extended {
+		data, rerr := os.ReadFile(flag.Arg(0))
+		if rerr != nil {
+			log.Fatal(rerr)
+		}
+		spec, err = core.ParseExtendedString(flag.Arg(0), string(data))
+	} else {
+		spec, err = asim2.ParseFile(flag.Arg(0))
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *warn {
+		for _, w := range spec.Warnings() {
+			fmt.Fprintln(os.Stderr, "warning:", w)
+		}
+	}
+
+	opts := asim2.Options{Input: os.Stdin, Output: os.Stdout}
+	if *trace {
+		opts.Trace = os.Stdout
+	}
+	m, err := asim2.NewMachine(spec, asim2.Backend(*backend), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *vcdPath != "" {
+		f, err := os.Create(*vcdPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		var sigs []string
+		if *signals != "" {
+			sigs = strings.Split(*signals, ",")
+		}
+		d, err := vcd.Attach(m, f, sigs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer d.Close()
+	}
+
+	if *faultSpecs != "" {
+		faults, err := parseFaults(*faultSpecs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := fault.Inject(m, faults...); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	n := *cycles
+	if n == 0 {
+		n = spec.DefaultCycles(100)
+	}
+	if err := m.Run(n); err != nil {
+		log.Fatal(err)
+	}
+
+	// The original simulator's continuation loop: "Continue to cycle
+	// (0 to quit)".
+	for *interactive {
+		fmt.Println("Continue to cycle (0 to quit)")
+		var target int64
+		if _, err := fmt.Scan(&target); err != nil || target <= m.Cycle() {
+			break
+		}
+		if err := m.Run(target - m.Cycle()); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *stats {
+		var names []string
+		for _, mem := range spec.Info.Mems {
+			names = append(names, mem.Name)
+		}
+		fmt.Fprint(os.Stderr, m.Stats().Report(names))
+	}
+}
+
+// parseFaults decodes comp:bit:kind:from[:until] descriptors.
+func parseFaults(s string) ([]fault.Fault, error) {
+	var out []fault.Fault
+	for _, item := range strings.Split(s, ",") {
+		parts := strings.Split(item, ":")
+		if len(parts) < 4 {
+			return nil, fmt.Errorf("fault %q: want comp:bit:kind:from[:until]", item)
+		}
+		f := fault.Fault{Component: parts[0]}
+		bit, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("fault %q: bad bit: %v", item, err)
+		}
+		f.Bit = bit
+		switch parts[2] {
+		case "stuck0":
+			f.Kind = fault.StuckAt0
+		case "stuck1":
+			f.Kind = fault.StuckAt1
+		case "flip":
+			f.Kind = fault.Flip
+		default:
+			return nil, fmt.Errorf("fault %q: kind must be stuck0, stuck1 or flip", item)
+		}
+		from, err := strconv.ParseInt(parts[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("fault %q: bad from-cycle: %v", item, err)
+		}
+		f.From = from
+		f.Until = from
+		if len(parts) >= 5 {
+			until, err := strconv.ParseInt(parts[4], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault %q: bad until-cycle: %v", item, err)
+			}
+			f.Until = until
+		} else if f.Kind != fault.Flip {
+			f.Until = 1 << 60
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

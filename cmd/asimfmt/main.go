@@ -1,0 +1,54 @@
+// Command asimfmt canonicalizes an ASIM II specification: it parses
+// the file (expanding macros and, with -modules, the module dialect)
+// and prints the normal form — one component per line, the name list
+// and terminators in place. Useful as the "standard way" to convey
+// designs between team members that §5.1 advocates.
+//
+//	asimfmt spec.sim            (prints the canonical form)
+//	asimfmt -w spec.sim         (rewrites the file in place)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	asim2 "repro"
+	"repro/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	write := flag.Bool("w", false, "rewrite the file in place instead of printing")
+	extended := flag.Bool("modules", false, "expand the module dialect (D/E/U) while formatting")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: asimfmt [-w] spec.sim")
+	}
+	path := flag.Arg(0)
+
+	var spec *asim2.Spec
+	var err error
+	if *extended {
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			log.Fatal(rerr)
+		}
+		spec, err = core.ParseExtendedString(path, string(data))
+	} else {
+		spec, err = asim2.ParseFile(path)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := spec.AST.String()
+
+	if *write {
+		if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,29 @@
+// Command asimnet emits the §5.3 hardware-construction view of a
+// specification: a parts list with catalog suggestions and the wire
+// list connecting them (Appendix F's translation of a specification to
+// a hardware diagram, in text form).
+//
+//	asimnet spec.sim
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	asim2 "repro"
+	"repro/internal/netlist"
+)
+
+func main() {
+	log.SetFlags(0)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: asimnet spec.sim")
+	}
+	spec, err := asim2.ParseFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(netlist.Build(spec.Info).String())
+}

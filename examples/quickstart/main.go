@@ -1,0 +1,52 @@
+// Command quickstart simulates the smallest useful ASIM II
+// specification — a four-bit counter with carry out — and prints its
+// cycle-by-cycle trace, execution statistics and the §5.3 hardware
+// parts list. Run it with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	asim2 "repro"
+	"repro/internal/machines"
+	"repro/internal/netlist"
+)
+
+func main() {
+	log.SetFlags(0)
+	src := machines.Counter()
+	fmt.Println("Specification:")
+	fmt.Println(src)
+
+	spec, err := asim2.ParseString("counter", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, w := range spec.Warnings() {
+		fmt.Fprintln(os.Stderr, "warning:", w)
+	}
+
+	m, err := asim2.NewMachine(spec, asim2.Compiled, asim2.Options{Trace: os.Stdout})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cycles := spec.DefaultCycles(20)
+	if err := m.Run(cycles); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	var names []string
+	for _, mem := range spec.Info.Mems {
+		names = append(names, mem.Name)
+	}
+	fmt.Print(m.Stats().Report(names))
+
+	fmt.Println()
+	fmt.Println("Hardware view (thesis §5.3):")
+	fmt.Print(netlist.Build(spec.Info).String())
+}

@@ -1,0 +1,89 @@
+// Command tinycpu simulates the Appendix F 10-bit computer (five
+// instructions: load, store, branch, branch-on-borrow, subtract)
+// running division by repeated subtraction, optionally dumping a VCD
+// waveform of the architectural registers.
+//
+//	go run ./examples/tinycpu -dividend 47 -divisor 5 -vcd tiny.vcd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	asim2 "repro"
+	"repro/internal/machines"
+	"repro/internal/vcd"
+)
+
+func main() {
+	log.SetFlags(0)
+	dividend := flag.Int64("dividend", 47, "value divided (0..1023)")
+	divisor := flag.Int64("divisor", 5, "divisor (1..1023)")
+	vcdPath := flag.String("vcd", "", "write a VCD waveform of pc/ac/borrow to this file")
+	trace := flag.Bool("trace", false, "print the per-cycle trace")
+	flag.Parse()
+	if *divisor < 1 || *divisor > 1023 || *dividend < 0 || *dividend > 1023 {
+		log.Fatal("operands must fit in 10 bits (divisor nonzero)")
+	}
+
+	src, err := machines.TinyComputer(machines.TinyDivideImage(*dividend, *divisor))
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := asim2.ParseString("tinycpu", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := asim2.Options{}
+	if *trace {
+		opts.Trace = os.Stdout
+	}
+	m, err := asim2.NewMachine(spec, asim2.Compiled, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *vcdPath != "" {
+		f, err := os.Create(*vcdPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		d, err := vcd.Attach(m, f, []string{"pc", "ac", "borrow"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer d.Close()
+	}
+
+	// Run until the machine spins on the done instruction: pc parked
+	// at 9 with "BR 9" in the instruction register (pc alone passes
+	// through 9 transiently while fetching the BR at address 8).
+	spin := machines.TinyWord(machines.TinyBR, 9)
+	n, halted, err := m.RunUntil(func(m *asim2.Machine) bool {
+		return m.Value("pc") == 9 && m.Value("ir") == spin
+	}, 1_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !halted {
+		log.Fatalf("program did not finish within %d cycles", n)
+	}
+	// Let the final instruction's phases drain.
+	if err := m.Run(machines.TinyCyclesPerInstruction); err != nil {
+		log.Fatal(err)
+	}
+
+	q := m.MemCell("memory", 32)
+	r := m.MemCell("memory", 30)
+	fmt.Printf("%d / %d = %d remainder %d   (%d cycles, %d instructions)\n",
+		*dividend, *divisor, q, r, m.Cycle(), m.Cycle()/machines.TinyCyclesPerInstruction)
+	if q**divisor+r != *dividend {
+		log.Fatal("self-check failed: q*divisor + r != dividend")
+	}
+	if *vcdPath != "" {
+		fmt.Printf("waveform written to %s\n", *vcdPath)
+	}
+}

@@ -1,0 +1,173 @@
+// Package bytecode is a third execution backend sitting between the
+// AST-walking interpreter and the closure compiler: expressions are
+// lowered once into flat part-programs with pre-resolved slots, masks
+// and shifts, and a small accumulator VM executes them each cycle.
+// It exists as an ablation point for the Figure 5.1 reproduction —
+// how much of ASIM II's speedup comes from merely pre-resolving the
+// tables versus fully specializing the code.
+package bytecode
+
+import (
+	"repro/internal/rtl/ast"
+	"repro/internal/rtl/sem"
+	"repro/internal/sim"
+)
+
+// instruction kinds: every instruction adds one term to the
+// accumulator.
+const (
+	iConst = iota // acc += val
+	iWhole        // acc += vals[slot] << shift
+	iField        // acc += ((vals[slot] & mask) >> from) << shift
+)
+
+type instr struct {
+	kind  uint8
+	from  uint8
+	shift uint8
+	slot  int32
+	mask  uint32
+	val   int64
+}
+
+// program is one lowered expression; its value is the sum of its
+// instructions' contributions.
+type program []instr
+
+func run(p program, vals []int64) int64 {
+	var acc int64
+	for i := range p {
+		in := &p[i]
+		switch in.kind {
+		case iConst:
+			acc += in.val
+		case iWhole:
+			acc += vals[in.slot] << in.shift
+		case iField:
+			acc += int64((uint32(vals[in.slot])&in.mask)>>in.from) << in.shift
+		}
+	}
+	return acc
+}
+
+type combOp struct {
+	isSelector bool
+	slot       int
+	name       string
+
+	// ALU
+	funct, left, right program
+
+	// Selector
+	sel   program
+	cases []program
+}
+
+type memOp struct {
+	addr, data, opn program
+}
+
+// VM implements sim.Evaluator by running lowered part-programs.
+type VM struct {
+	comb []combOp
+	mems []memOp
+}
+
+// New lowers an analyzed specification.
+func New(info *sem.Info) *VM {
+	vm := &VM{}
+	for _, c := range info.Comb {
+		switch c := c.(type) {
+		case *ast.ALU:
+			vm.comb = append(vm.comb, combOp{
+				slot:  info.Slot[c.Name],
+				name:  c.Name,
+				funct: lower(info, &c.Funct),
+				left:  lower(info, &c.Left),
+				right: lower(info, &c.Right),
+			})
+		case *ast.Selector:
+			op := combOp{
+				isSelector: true,
+				slot:       info.Slot[c.Name],
+				name:       c.Name,
+				sel:        lower(info, &c.Select),
+			}
+			for i := range c.Cases {
+				op.cases = append(op.cases, lower(info, &c.Cases[i]))
+			}
+			vm.comb = append(vm.comb, op)
+		}
+	}
+	for _, m := range info.Mems {
+		vm.mems = append(vm.mems, memOp{
+			addr: lower(info, &m.Addr),
+			data: lower(info, &m.Data),
+			opn:  lower(info, &m.Opn),
+		})
+	}
+	return vm
+}
+
+// lower flattens an expression into a part-program.
+func lower(info *sem.Info, e *ast.Expr) program {
+	var p program
+	shift := 0
+	for i := len(e.Parts) - 1; i >= 0; i-- {
+		part := e.Parts[i]
+		switch part := part.(type) {
+		case *ast.Num:
+			p = append(p, instr{kind: iConst, val: part.Masked() << uint(shift)})
+		case *ast.Bits:
+			p = append(p, instr{kind: iConst, val: part.Value() << uint(shift)})
+		case *ast.Ref:
+			slot := int32(info.Slot[part.Name])
+			if part.Mode == ast.RefWhole {
+				p = append(p, instr{kind: iWhole, slot: slot, shift: uint8(shift)})
+			} else {
+				p = append(p, instr{
+					kind:  iField,
+					slot:  slot,
+					mask:  uint32(part.SelMask()),
+					from:  uint8(part.From),
+					shift: uint8(shift),
+				})
+			}
+		}
+		if w := part.Width(); w == ast.WidthUnbounded {
+			shift = ast.WidthUnbounded
+		} else {
+			shift += w
+		}
+	}
+	return p
+}
+
+// BackendName implements sim.Evaluator.
+func (vm *VM) BackendName() string { return "bytecode" }
+
+// Comb implements sim.Evaluator.
+func (vm *VM) Comb(vals []int64, cycle int64) {
+	for i := range vm.comb {
+		op := &vm.comb[i]
+		if op.isSelector {
+			idx := run(op.sel, vals)
+			if idx < 0 || idx >= int64(len(op.cases)) {
+				sim.Fail(op.name, cycle, "selector index %d outside 0..%d", idx, len(op.cases)-1)
+			}
+			vals[op.slot] = run(op.cases[idx], vals)
+			continue
+		}
+		vals[op.slot] = sim.DoLogic(run(op.funct, vals), run(op.left, vals), run(op.right, vals))
+	}
+}
+
+// MemInputs implements sim.Evaluator.
+func (vm *VM) MemInputs(vals []int64, addr, data, opn []int64, cycle int64) {
+	for i := range vm.mems {
+		m := &vm.mems[i]
+		addr[i] = run(m.addr, vals)
+		data[i] = run(m.data, vals)
+		opn[i] = run(m.opn, vals)
+	}
+}

@@ -1,0 +1,55 @@
+// Package codegen holds the pieces shared by the Go and Pascal source
+// generators: identifier mangling (the original prefixed every signal
+// with "ljb", the author's initials — we keep the convention), trace
+// feasibility analysis, and the §4.4 constant-operation classification.
+package codegen
+
+import (
+	"repro/internal/rtl/ast"
+	"repro/internal/sim"
+)
+
+// Comb returns the generated-code name of a combinational signal or of
+// a memory's backing array.
+func Comb(name string) string { return "ljb" + name }
+
+// Temp returns the name of a memory's output register.
+func Temp(name string) string { return "temp" + name }
+
+// Adr, Data, Opn name a memory's per-cycle latched inputs, matching
+// the original's adrX/dataX/opnX variables.
+func Adr(name string) string  { return "adr" + name }
+func Data(name string) string { return "data" + name }
+func Opn(name string) string  { return "opn" + name }
+
+// MemOpCase describes what a memory's commit code must handle.
+type MemOpCase struct {
+	// Const is set when the operation expression is constant; Op is
+	// then its low two bits and the trace flags are statically known.
+	Const       bool
+	Op          int64
+	TraceWrites bool
+	TraceReads  bool
+
+	// MayTraceWrites / MayTraceReads: for dynamic operations, whether
+	// the expression is wide enough to ever set the trace bits (the
+	// original's numberofbits >= 3 / >= 4 tests).
+	MayTraceWrites bool
+	MayTraceReads  bool
+}
+
+// ClassifyMemOp analyzes a memory's operation expression.
+func ClassifyMemOp(m *ast.Memory) MemOpCase {
+	var c MemOpCase
+	if v, ok := m.Opn.ConstValue(); ok {
+		c.Const = true
+		c.Op = v & 3
+		c.TraceWrites = sim.TraceWrite(v)
+		c.TraceReads = sim.TraceRead(v)
+		return c
+	}
+	w := m.Opn.Width()
+	c.MayTraceWrites = w >= 3
+	c.MayTraceReads = w >= 4
+	return c
+}

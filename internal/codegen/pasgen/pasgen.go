@@ -1,0 +1,387 @@
+// Package pasgen generates Pascal source for an ASIM II specification
+// in the shape of the thesis' own output (Appendix E, Figures
+// 4.1-4.3). It exists for fidelity — the reproduction's measured
+// artifact is the Go generator — so the emphasis is on matching the
+// published code patterns: ljb-prefixed variables, dologic, sinput /
+// soutput, the per-memory temp/adr/data/opn quartet, and the
+// constant-operation optimizations.
+package pasgen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/codegen"
+	"repro/internal/rtl/ast"
+	"repro/internal/rtl/sem"
+	"repro/internal/sim"
+)
+
+// Generate produces Pascal source for an analyzed specification.
+func Generate(info *sem.Info) string {
+	g := &generator{info: info}
+	return g.run()
+}
+
+type generator struct {
+	info *sem.Info
+	b    strings.Builder
+}
+
+func (g *generator) p(format string, args ...interface{}) {
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteByte('\n')
+}
+
+func (g *generator) run() string {
+	g.p("program simulator(input, output);")
+	g.p("{#%s}", g.info.Spec.Comment)
+	g.emitVars()
+	g.p("")
+	g.emitLand()
+	g.p("")
+	g.emitInitValues()
+	g.p("")
+	g.emitDologic()
+	g.p("")
+	g.emitIO()
+	g.p("")
+	g.emitMain()
+	return g.b.String()
+}
+
+func (g *generator) emitVars() {
+	var names []string
+	for _, c := range g.info.Comb {
+		names = append(names, codegen.Comb(c.CompName()))
+	}
+	for _, m := range g.info.Mems {
+		names = append(names,
+			codegen.Temp(m.Name), codegen.Adr(m.Name), codegen.Data(m.Name), codegen.Opn(m.Name))
+	}
+	g.p("var %s: integer;", strings.Join(names, ", "))
+	g.p("    cycles, cyclecount: integer;")
+	for _, m := range g.info.Mems {
+		g.p("    %s: array[0..%d] of integer;", codegen.Comb(m.Name), m.Size-1)
+	}
+}
+
+func (g *generator) emitLand() {
+	g.p("function land(a, b: integer): integer;")
+	g.p("type bitnos = 0..31;")
+	g.p("     bigset = set of bitnos;")
+	g.p("var intset: record case boolean of")
+	g.p("      false: (i, j: integer);")
+	g.p("      true: (x, y: bigset)")
+	g.p("    end;")
+	g.p("begin")
+	g.p("  with intset do begin")
+	g.p("    i := a;")
+	g.p("    j := b;")
+	g.p("    x := x * y;")
+	g.p("    land := i")
+	g.p("  end")
+	g.p("end; {land}")
+}
+
+func (g *generator) emitInitValues() {
+	g.p("procedure initvalues;")
+	g.p("var i: integer;")
+	g.p("begin")
+	for _, m := range g.info.Mems {
+		arr := codegen.Comb(m.Name)
+		if m.Init != nil {
+			for i, v := range m.Init {
+				g.p("  %s[%d] := %d;", arr, i, v)
+			}
+		} else {
+			g.p("  for i := 0 to %d do", m.Size-1)
+			g.p("    %s[i] := 0;", arr)
+		}
+		g.p("  %s := 0;", codegen.Temp(m.Name))
+	}
+	g.p("end; {initvalues}")
+}
+
+func (g *generator) emitDologic() {
+	g.p("function dologic(funct, left, right: integer): integer;")
+	g.p("const mask = %d;", sim.Mask)
+	g.p("var value: integer;")
+	g.p("begin")
+	g.p("  value := 0;")
+	g.p("  case funct of")
+	g.p("  0 : value := 0;")
+	g.p("  1 : value := right;")
+	g.p("  2 : value := left;")
+	g.p("  3 : value := mask - left;")
+	g.p("  4 : value := left + right;")
+	g.p("  5 : value := left - right;")
+	g.p("  6 : while (right > 0) and (left <> 0) do begin")
+	g.p("        left := land(left + left, mask);")
+	g.p("        value := left;")
+	g.p("        right := right - 1;")
+	g.p("      end;")
+	g.p("  7 : value := left * right;")
+	g.p("  8 : value := land(left, right);")
+	g.p("  9 : value := left + right - land(left, right);")
+	g.p("  10: value := left + right - land(left, right) * 2;")
+	g.p("  11: value := 0;")
+	g.p("  12: if left = right then value := 1;")
+	g.p("  13: if left < right then value := 1")
+	g.p("  end; {case}")
+	g.p("  dologic := value;")
+	g.p("end; {dologic}")
+}
+
+func (g *generator) emitIO() {
+	g.p("function sinput(address: integer): integer;")
+	g.p("var datum: char;")
+	g.p("    data: integer;")
+	g.p("begin")
+	g.p("  if address = 0 then begin")
+	g.p("    read(input, datum);")
+	g.p("    sinput := ord(datum)")
+	g.p("  end")
+	g.p("  else if address = 1 then begin")
+	g.p("    read(input, data);")
+	g.p("    sinput := data")
+	g.p("  end")
+	g.p("  else begin")
+	g.p("    write(output, 'Input from address ', address:1, ': ');")
+	g.p("    readln(input, data);")
+	g.p("    sinput := data;")
+	g.p("  end")
+	g.p("end; {sinput}")
+	g.p("")
+	g.p("procedure soutput(address, data: integer);")
+	g.p("begin")
+	g.p("  if address = 0 then writeln(output, chr(data))")
+	g.p("  else if address = 1 then writeln(output, data)")
+	g.p("  else writeln(output, 'Output to address ', address:1, ': ', data:1)")
+	g.p("end; {soutput}")
+}
+
+func (g *generator) emitMain() {
+	g.p("begin")
+	g.p("  initvalues;")
+	if g.info.Spec.HasCycles {
+		g.p("  cycles := %d;", g.info.Spec.Cycles)
+	} else {
+		g.p("  cycles := 0;")
+	}
+	g.p("  if cycles = 0 then begin")
+	g.p("    writeln('Number of cycles to trace');")
+	g.p("    read(cycles);")
+	g.p("  end;")
+	g.p("  cyclecount := 0;")
+	g.p("  while cyclecount < cycles do begin")
+
+	for _, c := range g.info.Comb {
+		switch c := c.(type) {
+		case *ast.ALU:
+			g.emitALU(c)
+		case *ast.Selector:
+			g.emitSelector(c)
+		}
+	}
+
+	for _, m := range g.info.Mems {
+		g.p("  %s := %s;", codegen.Adr(m.Name), g.expr(&m.Addr))
+		g.p("  %s := %s;", codegen.Data(m.Name), g.expr(&m.Data))
+		g.p("  %s := %s;", codegen.Opn(m.Name), g.expr(&m.Opn))
+	}
+
+	if len(g.info.Traced) > 0 {
+		g.p("  write('Cycle ', cyclecount:3);")
+		for _, name := range g.info.Traced {
+			if _, ok := g.info.Slot[name]; !ok {
+				continue
+			}
+			g.p("  write(' %s= ', %s:1);", name, g.valueOf(name))
+		}
+		g.p("  writeln;")
+	}
+
+	for _, m := range g.info.Mems {
+		g.emitMemoryCommit(m)
+	}
+
+	g.p("  cyclecount := cyclecount + 1;")
+	g.p("  end; {while}")
+	g.p("end.")
+}
+
+func (g *generator) valueOf(name string) string {
+	if g.info.IsMemory(name) {
+		return codegen.Temp(name)
+	}
+	return codegen.Comb(name)
+}
+
+func (g *generator) emitALU(a *ast.ALU) {
+	out := codegen.Comb(a.Name)
+	left := func() string { return g.expr(&a.Left) }
+	right := func() string { return g.expr(&a.Right) }
+	if fv, ok := a.Funct.ConstValue(); ok {
+		switch fv {
+		case sim.FnZero, sim.FnUnused:
+			g.p("  %s := 0;", out)
+		case sim.FnRight:
+			g.p("  %s := %s;", out, right())
+		case sim.FnLeft:
+			g.p("  %s := %s;", out, left())
+		case sim.FnNot:
+			g.p("  %s := %d - %s;", out, sim.Mask, left())
+		case sim.FnAdd:
+			g.p("  %s := %s + %s;", out, left(), right())
+		case sim.FnSub:
+			g.p("  %s := %s - %s;", out, left(), right())
+		case sim.FnShl:
+			g.p("  %s := dologic(6, %s, %s);", out, left(), right())
+		case sim.FnMul:
+			g.p("  %s := %s * %s;", out, left(), right())
+		case sim.FnAnd:
+			g.p("  %s := land(%s, %s);", out, left(), right())
+		case sim.FnOr:
+			g.p("  %s := %s + %s - land(%s, %s);", out, left(), right(), left(), right())
+		case sim.FnXor:
+			g.p("  %s := %s + %s - land(%s, %s) * 2;", out, left(), right(), left(), right())
+		case sim.FnEq:
+			g.p("  if %s = %s then %s := 1", left(), right(), out)
+			g.p("  else %s := 0;", out)
+		case sim.FnLt:
+			g.p("  if %s < %s then %s := 1", left(), right(), out)
+			g.p("  else %s := 0;", out)
+		default:
+			g.p("  %s := 0; {function %d undefined}", out, fv)
+		}
+		return
+	}
+	g.p("  %s := dologic(%s, %s, %s);", out, g.expr(&a.Funct), left(), right())
+}
+
+func (g *generator) emitSelector(s *ast.Selector) {
+	out := codegen.Comb(s.Name)
+	if sv, ok := s.Select.ConstValue(); ok && sv >= 0 && sv < int64(len(s.Cases)) {
+		g.p("  %s := %s;", out, g.expr(&s.Cases[sv]))
+		return
+	}
+	g.p("  case %s of", g.expr(&s.Select))
+	for i := range s.Cases {
+		sep := ";"
+		if i == len(s.Cases)-1 {
+			sep = ""
+		}
+		g.p("  %d : %s := %s%s", i, out, g.expr(&s.Cases[i]), sep)
+	}
+	g.p("  end;")
+}
+
+func (g *generator) emitMemoryCommit(m *ast.Memory) {
+	arr := codegen.Comb(m.Name)
+	temp := codegen.Temp(m.Name)
+	adr := codegen.Adr(m.Name)
+	data := codegen.Data(m.Name)
+	opn := codegen.Opn(m.Name)
+	c := codegen.ClassifyMemOp(m)
+
+	if c.Const {
+		switch c.Op {
+		case sim.OpRead:
+			g.p("  %s := %s[%s];", temp, arr, adr)
+		case sim.OpWrite:
+			g.p("  %s := %s;", temp, data)
+			g.p("  %s[%s] := %s;", arr, adr, data)
+		case sim.OpInput:
+			g.p("  %s := sinput(%s);", temp, adr)
+		case sim.OpOutput:
+			g.p("  %s := %s;", temp, data)
+			g.p("  soutput(%s, %s);", adr, data)
+		}
+	} else {
+		g.p("  case land(%s, 3) of", opn)
+		g.p("  0: %s := %s[%s];", temp, arr, adr)
+		g.p("  1: begin")
+		g.p("       %s := %s;", temp, data)
+		g.p("       %s[%s] := %s", arr, adr, data)
+		g.p("     end;")
+		g.p("  2: %s := sinput(%s);", temp, adr)
+		g.p("  3: begin")
+		g.p("       %s := %s;", temp, data)
+		g.p("       soutput(%s, %s);", adr, data)
+		g.p("     end")
+		g.p("  end; {case}")
+	}
+
+	if c.Const && c.TraceWrites {
+		g.p("  writeln(' Write to %s at ', %s:1, ': ', %s:1);", m.Name, adr, temp)
+	} else if !c.Const && c.MayTraceWrites {
+		g.p("  if land(%s, 5) = 5 then", opn)
+		g.p("    writeln(' Write to %s at ', %s:1, ': ', %s:1);", m.Name, adr, temp)
+	}
+	if c.Const && c.TraceReads {
+		g.p("  writeln(' Read from %s at ', %s:1, ': ', %s:1);", m.Name, adr, temp)
+	} else if !c.Const && c.MayTraceReads {
+		g.p("  if land(%s, 9) = 8 then", opn)
+		g.p("    writeln(' Read from %s at ', %s:1, ': ', %s:1);", m.Name, adr, temp)
+	}
+}
+
+// expr lowers an expression to Pascal (land masks and div/mul shifts,
+// exactly as the original expr procedure generated).
+func (g *generator) expr(e *ast.Expr) string {
+	if v, ok := e.ConstValue(); ok {
+		return fmt.Sprintf("%d", v)
+	}
+	var terms []string
+	shift := 0
+	for i := len(e.Parts) - 1; i >= 0; i-- {
+		p := e.Parts[i]
+		if t := g.part(p, shift); t != "" {
+			terms = append(terms, t)
+		}
+		if w := p.Width(); w == ast.WidthUnbounded {
+			shift = ast.WidthUnbounded
+		} else {
+			shift += w
+		}
+	}
+	for l, r := 0, len(terms)-1; l < r; l, r = l+1, r-1 {
+		terms[l], terms[r] = terms[r], terms[l]
+	}
+	return strings.Join(terms, " + ")
+}
+
+func (g *generator) part(p ast.Part, shift int) string {
+	switch p := p.(type) {
+	case *ast.Num:
+		v := p.Masked() << uint(shift)
+		if v == 0 {
+			return ""
+		}
+		return fmt.Sprintf("%d", v)
+	case *ast.Bits:
+		v := p.Value() << uint(shift)
+		if v == 0 {
+			return ""
+		}
+		return fmt.Sprintf("%d", v)
+	case *ast.Ref:
+		v := g.valueOf(p.Name)
+		var t string
+		if p.Mode == ast.RefWhole {
+			t = v
+		} else {
+			t = fmt.Sprintf("land(%s, %d)", v, p.SelMask())
+			if p.From > 0 {
+				t = fmt.Sprintf("%s div %d", t, int64(1)<<uint(p.From))
+			}
+		}
+		if shift > 0 {
+			t = fmt.Sprintf("%s * %d", t, int64(1)<<uint(shift))
+		}
+		return t
+	default:
+		return ""
+	}
+}

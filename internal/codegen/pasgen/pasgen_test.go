@@ -1,0 +1,153 @@
+package pasgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machines"
+)
+
+func gen(t *testing.T, src string) string {
+	t.Helper()
+	spec, err := core.ParseString("t", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Generate(spec.Info)
+}
+
+// TestFigure41Pascal matches the published Figure 4.1 output shapes:
+//
+//	alu := dologic (compute, left, 3048) ;
+//	add := left + 3048;
+func TestFigure41Pascal(t *testing.T) {
+	out := gen(t, `#fig41
+alu add compute left .
+A alu compute left 3048
+A add 4 left 3048
+A compute 1 0 4
+A left 1 0 7
+.
+`)
+	if !strings.Contains(out, "ljbalu := dologic(ljbcompute, ljbleft, 3048);") {
+		t.Errorf("generic dologic call missing:\n%s", out)
+	}
+	if !strings.Contains(out, "ljbadd := ljbleft + 3048;") {
+		t.Errorf("inline add missing:\n%s", out)
+	}
+}
+
+// TestFigure42Pascal matches Figure 4.2's case statement.
+func TestFigure42Pascal(t *testing.T) {
+	out := gen(t, `#fig42
+selector index value0 value1 value2 value3 .
+S selector index value0 value1 value2 value3
+A index 1 0 m.0.1
+A value0 1 0 10
+A value1 1 0 11
+A value2 1 0 12
+A value3 1 0 13
+M m 0 0 0 4
+.
+`)
+	if !strings.Contains(out, "case ljbindex of") {
+		t.Errorf("case statement missing:\n%s", out)
+	}
+	if !strings.Contains(out, "0 : ljbselector := ljbvalue0;") ||
+		!strings.Contains(out, "3 : ljbselector := ljbvalue3") {
+		t.Errorf("case arms missing:\n%s", out)
+	}
+}
+
+// TestFigure43Pascal matches Figure 4.3: initialization, the land(op,3)
+// dispatch, and the trace checks.
+func TestFigure43Pascal(t *testing.T) {
+	out := gen(t, `#fig43
+memory address data operation .
+M memory address data operation -4 12 34 56 78
+A address 1 0 memory.0.1
+A data 4 memory 1
+A operation 1 0 memory.0.3
+.
+`)
+	for _, want := range []string{
+		"ljbmemory[0] := 12;",
+		"ljbmemory[1] := 34;",
+		"ljbmemory[2] := 56;",
+		"ljbmemory[3] := 78;",
+		"case land(opnmemory, 3) of",
+		"tempmemory := sinput(adrmemory);",
+		"if land(opnmemory, 5) = 5 then",
+		"writeln(' Write to memory at ', adrmemory:1, ': ', tempmemory:1);",
+		"if land(opnmemory, 9) = 8 then",
+		"writeln(' Read from memory at ', adrmemory:1, ': ', tempmemory:1);",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestAppendixEShapes checks the overall program structure matches
+// Appendix E: program header, land with the set-overlay record, the
+// dologic constants, sinput/soutput, initvalues.
+func TestAppendixEShapes(t *testing.T) {
+	src, err := machines.SieveSpec(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := gen(t, src)
+	for _, want := range []string{
+		"program simulator(input, output);",
+		"function land(a, b: integer): integer;",
+		"bigset = set of bitnos;",
+		"procedure initvalues;",
+		"const mask = 2147483647;",
+		"function sinput(address: integer): integer;",
+		"procedure soutput(address, data: integer);",
+		"while cyclecount < cycles do begin",
+		"end.",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// Subfield extraction lowers to land + div, as in the original.
+	if !strings.Contains(out, "div") || !strings.Contains(out, "land(") {
+		t.Error("expected land/div-based subfield extraction")
+	}
+}
+
+// TestRegisterQuartet: every memory gets temp/adr/data/opn variables.
+func TestRegisterQuartet(t *testing.T) {
+	out := gen(t, "#q\nm .\nM m 0 1 1 1\n.")
+	if !strings.Contains(out, "tempm, adrm, datam, opnm: integer;") {
+		t.Errorf("memory variable quartet missing:\n%s", out)
+	}
+	if !strings.Contains(out, "ljbm: array[0..0] of integer;") {
+		t.Errorf("memory array missing:\n%s", out)
+	}
+}
+
+// TestConstOpNoDispatch: constant memory operations drop the case.
+func TestConstOpNoDispatch(t *testing.T) {
+	out := gen(t, "#q\nm .\nM m 0 5 1 1\n.")
+	if strings.Contains(out, "case land(opnm, 3) of") {
+		t.Errorf("constant op should not dispatch:\n%s", out)
+	}
+	if !strings.Contains(out, "ljbm[adrm] := datam;") {
+		t.Errorf("write commit missing:\n%s", out)
+	}
+}
+
+// TestTraceLinePascal: '*'-marked names produce write statements.
+func TestTraceLinePascal(t *testing.T) {
+	out := gen(t, "#t\ncount* inc .\nA inc 4 count 1\nM count 0 inc 1 1\n.")
+	if !strings.Contains(out, "write('Cycle ', cyclecount:3);") {
+		t.Errorf("cycle line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "write(' count= ', tempcount:1);") {
+		t.Errorf("traced value missing (memories print their temp):\n%s", out)
+	}
+}

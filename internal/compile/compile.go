@@ -1,0 +1,270 @@
+// Package compile is the ASIM II backend: it compiles an analyzed
+// specification into closures once, so the per-cycle work is a walk
+// over pre-specialized code rather than an interpretation of the
+// component tables. This is the in-process counterpart of the thesis'
+// Pascal code generation (package codegen/gogen produces the actual
+// source-code form), and it applies the same optimizations §4.4
+// describes:
+//
+//   - an ALU whose function operand is constant is compiled into the
+//     specific operation instead of a dologic dispatch;
+//   - constant expressions are folded to constants;
+//   - a selector whose select expression is constant is compiled into
+//     the selected case directly;
+//   - a memory whose operation is a constant read or input never
+//     consumes its data expression, so the data latch is elided — the
+//     in-process form of §5.4's "heuristics to determine which
+//     memories do not need temporary variables".
+//
+// Options.NoFold disables all of these for the ablation benchmarks.
+package compile
+
+import (
+	"repro/internal/rtl/ast"
+	"repro/internal/rtl/sem"
+	"repro/internal/sim"
+)
+
+// exprFn evaluates one expression against the value vector.
+type exprFn func(vals []int64) int64
+
+// combFn computes one combinational component's output into vals.
+type combFn func(vals []int64, cycle int64)
+
+// Options tunes the compiler.
+type Options struct {
+	// NoFold disables constant folding and constant-function ALU /
+	// constant-select selector specialization (§4.4), forcing the
+	// fully generic code paths. Used by ablation benchmarks.
+	NoFold bool
+}
+
+// Compiled implements sim.Evaluator with pre-compiled closures.
+type Compiled struct {
+	info *sem.Info
+	opts Options
+	comb []combFn
+	mems []memFns
+}
+
+type memFns struct {
+	addr exprFn
+	data exprFn
+	opn  exprFn
+}
+
+// New compiles info with all optimizations enabled.
+func New(info *sem.Info) *Compiled { return NewWithOptions(info, Options{}) }
+
+// NewWithOptions compiles info with explicit optimization settings.
+func NewWithOptions(info *sem.Info, opts Options) *Compiled {
+	c := &Compiled{info: info, opts: opts}
+	for _, comp := range info.Comb {
+		switch comp := comp.(type) {
+		case *ast.ALU:
+			c.comb = append(c.comb, c.compileALU(comp))
+		case *ast.Selector:
+			c.comb = append(c.comb, c.compileSelector(comp))
+		}
+	}
+	for _, m := range info.Mems {
+		fns := memFns{
+			addr: c.compileExpr(&m.Addr),
+			data: c.compileExpr(&m.Data),
+			opn:  c.compileExpr(&m.Opn),
+		}
+		// Dead data latch: constant read/input operations never use
+		// the data value.
+		if v, ok := m.Opn.ConstValue(); ok && !opts.NoFold {
+			if op := v & 3; op == sim.OpRead || op == sim.OpInput {
+				fns.data = zeroExpr
+			}
+		}
+		c.mems = append(c.mems, fns)
+	}
+	return c
+}
+
+func zeroExpr([]int64) int64 { return 0 }
+
+// BackendName implements sim.Evaluator.
+func (c *Compiled) BackendName() string {
+	if c.opts.NoFold {
+		return "compiled-nofold"
+	}
+	return "compiled"
+}
+
+// Comb implements sim.Evaluator.
+func (c *Compiled) Comb(vals []int64, cycle int64) {
+	for _, fn := range c.comb {
+		fn(vals, cycle)
+	}
+}
+
+// MemInputs implements sim.Evaluator.
+func (c *Compiled) MemInputs(vals []int64, addr, data, opn []int64, cycle int64) {
+	for i := range c.mems {
+		m := &c.mems[i]
+		addr[i] = m.addr(vals)
+		data[i] = m.data(vals)
+		opn[i] = m.opn(vals)
+	}
+}
+
+// compileALU specializes on a constant function operand, mirroring
+// Figure 4.1's "add := left + 3048" against the generic
+// "alu := dologic(compute, left, 3048)".
+func (c *Compiled) compileALU(a *ast.ALU) combFn {
+	slot := c.info.Slot[a.Name]
+	lf := c.compileExpr(&a.Left)
+	rf := c.compileExpr(&a.Right)
+	if fv, ok := a.Funct.ConstValue(); ok && !c.opts.NoFold {
+		switch fv {
+		case sim.FnZero, sim.FnUnused:
+			return func(vals []int64, _ int64) { vals[slot] = 0 }
+		case sim.FnRight:
+			return func(vals []int64, _ int64) { vals[slot] = rf(vals) }
+		case sim.FnLeft:
+			return func(vals []int64, _ int64) { vals[slot] = lf(vals) }
+		case sim.FnNot:
+			return func(vals []int64, _ int64) { vals[slot] = sim.Mask - lf(vals) }
+		case sim.FnAdd:
+			return func(vals []int64, _ int64) { vals[slot] = lf(vals) + rf(vals) }
+		case sim.FnSub:
+			return func(vals []int64, _ int64) { vals[slot] = lf(vals) - rf(vals) }
+		case sim.FnMul:
+			return func(vals []int64, _ int64) { vals[slot] = lf(vals) * rf(vals) }
+		case sim.FnAnd:
+			return func(vals []int64, _ int64) { vals[slot] = sim.Land(lf(vals), rf(vals)) }
+		case sim.FnOr:
+			return func(vals []int64, _ int64) {
+				l, r := lf(vals), rf(vals)
+				vals[slot] = l + r - sim.Land(l, r)
+			}
+		case sim.FnXor:
+			return func(vals []int64, _ int64) {
+				l, r := lf(vals), rf(vals)
+				vals[slot] = l + r - sim.Land(l, r)*2
+			}
+		case sim.FnEq:
+			return func(vals []int64, _ int64) {
+				if lf(vals) == rf(vals) {
+					vals[slot] = 1
+				} else {
+					vals[slot] = 0
+				}
+			}
+		case sim.FnLt:
+			return func(vals []int64, _ int64) {
+				if lf(vals) < rf(vals) {
+					vals[slot] = 1
+				} else {
+					vals[slot] = 0
+				}
+			}
+		default:
+			// Shift keeps its loop semantics; other constants are
+			// out-of-range and yield 0 like dologic.
+			if fv == sim.FnShl {
+				return func(vals []int64, _ int64) { vals[slot] = sim.DoLogic(sim.FnShl, lf(vals), rf(vals)) }
+			}
+			return func(vals []int64, _ int64) { vals[slot] = 0 }
+		}
+	}
+	ff := c.compileExpr(&a.Funct)
+	return func(vals []int64, _ int64) {
+		vals[slot] = sim.DoLogic(ff(vals), lf(vals), rf(vals))
+	}
+}
+
+func (c *Compiled) compileSelector(s *ast.Selector) combFn {
+	slot := c.info.Slot[s.Name]
+	cases := make([]exprFn, len(s.Cases))
+	for i := range s.Cases {
+		cases[i] = c.compileExpr(&s.Cases[i])
+	}
+	n := int64(len(cases))
+	name := s.Name
+	if sv, ok := s.Select.ConstValue(); ok && !c.opts.NoFold {
+		// A constant selector collapses to the chosen case; a
+		// constant out-of-range index faults on every cycle, which we
+		// preserve (the original generated a Pascal case statement
+		// that faulted at runtime too).
+		if sv >= 0 && sv < n {
+			cf := cases[sv]
+			return func(vals []int64, _ int64) { vals[slot] = cf(vals) }
+		}
+		return func(vals []int64, cycle int64) {
+			sim.Fail(name, cycle, "selector index %d outside 0..%d", sv, n-1)
+		}
+	}
+	sf := c.compileExpr(&s.Select)
+	return func(vals []int64, cycle int64) {
+		idx := sf(vals)
+		if idx < 0 || idx >= n {
+			sim.Fail(name, cycle, "selector index %d outside 0..%d", idx, n-1)
+		}
+		vals[slot] = cases[idx](vals)
+	}
+}
+
+// compileExpr lowers a concatenation into a closure. Single-part
+// expressions — the overwhelmingly common case — compile to direct
+// loads; multi-part concatenations compile to a sum of pre-shifted
+// part closures.
+func (c *Compiled) compileExpr(e *ast.Expr) exprFn {
+	if v, ok := e.ConstValue(); ok && !c.opts.NoFold {
+		return func([]int64) int64 { return v }
+	}
+	if len(e.Parts) == 1 {
+		return c.compilePart(e.Parts[0], 0)
+	}
+	fns := make([]exprFn, 0, len(e.Parts))
+	shift := 0
+	for i := len(e.Parts) - 1; i >= 0; i-- {
+		p := e.Parts[i]
+		fns = append(fns, c.compilePart(p, shift))
+		if w := p.Width(); w == ast.WidthUnbounded {
+			shift = ast.WidthUnbounded
+		} else {
+			shift += w
+		}
+	}
+	return func(vals []int64) int64 {
+		var total int64
+		for _, fn := range fns {
+			total += fn(vals)
+		}
+		return total
+	}
+}
+
+// compilePart compiles one concatenation part with a fixed left shift.
+func (c *Compiled) compilePart(p ast.Part, shift int) exprFn {
+	sh := uint(shift)
+	switch p := p.(type) {
+	case *ast.Num:
+		v := p.Masked() << sh
+		return func([]int64) int64 { return v }
+	case *ast.Bits:
+		v := p.Value() << sh
+		return func([]int64) int64 { return v }
+	case *ast.Ref:
+		slot := c.info.Slot[p.Name]
+		switch {
+		case p.Mode == ast.RefWhole && shift == 0:
+			return func(vals []int64) int64 { return vals[slot] }
+		case p.Mode == ast.RefWhole:
+			return func(vals []int64) int64 { return vals[slot] << sh }
+		default:
+			mask := uint32(p.SelMask())
+			from := uint(p.From)
+			return func(vals []int64) int64 {
+				return int64((uint32(vals[slot])&mask)>>from) << sh
+			}
+		}
+	default:
+		panic("compile: unknown part type")
+	}
+}

@@ -1,0 +1,209 @@
+package compile
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/rtl/parser"
+	"repro/internal/rtl/sem"
+	"repro/internal/sim"
+)
+
+func analyze(t *testing.T, src string) *sem.Info {
+	t.Helper()
+	spec, err := parser.ParseString("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sem.Analyze(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func TestBackendNames(t *testing.T) {
+	info := analyze(t, "#c\na .\nA a 1 0 1\n.")
+	if New(info).BackendName() != "compiled" {
+		t.Error("name wrong")
+	}
+	if NewWithOptions(info, Options{NoFold: true}).BackendName() != "compiled-nofold" {
+		t.Error("nofold name wrong")
+	}
+}
+
+// TestEveryConstFunction drives each of the 14 ALU functions (plus an
+// out-of-range code) through both the folded specialization and the
+// interpreter, requiring identical outputs over a sweep of operand
+// values.
+func TestEveryConstFunction(t *testing.T) {
+	for funct := 0; funct <= 15; funct++ {
+		src := "#f\na l r .\n" +
+			"A a " + itoa(funct) + " l r\n" +
+			"A l 1 0 m.0.7\nA r 1 0 m.8.15\nM m 0 a 1 1\n.\n"
+		info := analyze(t, src)
+		c := New(info)
+		it := interp.New(info)
+		valsC := make([]int64, len(info.Order))
+		valsI := make([]int64, len(info.Order))
+		for _, seed := range []int64{0, 1, 0x55AA, 0xFFFF, 0x1234, 0xFF00} {
+			valsC[info.Slot["m"]] = seed
+			valsI[info.Slot["m"]] = seed
+			c.Comb(valsC, 0)
+			it.Comb(valsI, 0)
+			if valsC[info.Slot["a"]] != valsI[info.Slot["a"]] {
+				t.Errorf("funct %d seed %#x: compiled %d != interp %d",
+					funct, seed, valsC[info.Slot["a"]], valsI[info.Slot["a"]])
+			}
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v >= 10 {
+		return string(rune('0'+v/10)) + string(rune('0'+v%10))
+	}
+	return string(rune('0' + v))
+}
+
+// TestConstSelectorCollapses: a constant in-range select compiles to a
+// direct case; a constant out-of-range select faults every cycle.
+func TestConstSelectorCollapses(t *testing.T) {
+	info := analyze(t, "#s\ns m .\nS s 1 10 20 30\nM m 0 s 1 1\n.")
+	c := New(info)
+	vals := make([]int64, len(info.Order))
+	c.Comb(vals, 0)
+	if vals[info.Slot["s"]] != 20 {
+		t.Errorf("const selector = %d, want 20", vals[info.Slot["s"]])
+	}
+
+	// sem warns about the constant out-of-range select but still
+	// compiles it; execution must fault.
+	info = analyze(t, "#s\ns .\nS s 7 10 20\n.")
+	c = New(info)
+	defer func() {
+		if recover() == nil {
+			t.Error("constant out-of-range select should fault at run time")
+		}
+	}()
+	c.Comb(make([]int64, len(info.Order)), 0)
+}
+
+// TestNoFoldStillCorrect: with folding disabled the generic paths must
+// produce identical results.
+func TestNoFoldStillCorrect(t *testing.T) {
+	src := `#n
+a s m .
+A a 4 m 3
+S s m.0 a 9
+M m 0 s 1 2
+.
+`
+	info := analyze(t, src)
+	fold := New(info)
+	nofold := NewWithOptions(info, Options{NoFold: true})
+	v1 := make([]int64, len(info.Order))
+	v2 := make([]int64, len(info.Order))
+	for cyc := int64(0); cyc < 4; cyc++ {
+		v1[info.Slot["m"]] = cyc
+		v2[info.Slot["m"]] = cyc
+		fold.Comb(v1, cyc)
+		nofold.Comb(v2, cyc)
+		for i := range v1 {
+			if v1[i] != v2[i] {
+				t.Fatalf("cycle %d slot %d: %d != %d", cyc, i, v1[i], v2[i])
+			}
+		}
+	}
+}
+
+// TestMemInputLatching: MemInputs fills the parallel slices without
+// touching vals.
+func TestMemInputLatching(t *testing.T) {
+	info := analyze(t, "#m\nx m n .\nA x 4 m n\nM m x.0.1 x 1 4\nM n 0 x 0 2\n.")
+	c := New(info)
+	vals := make([]int64, len(info.Order))
+	vals[info.Slot["m"]] = 2
+	vals[info.Slot["n"]] = 3
+	c.Comb(vals, 0) // x = 5
+	before := append([]int64(nil), vals...)
+	addr := make([]int64, 2)
+	data := make([]int64, 2)
+	opn := make([]int64, 2)
+	c.MemInputs(vals, addr, data, opn, 0)
+	for i := range vals {
+		if vals[i] != before[i] {
+			t.Fatal("MemInputs modified vals")
+		}
+	}
+	if addr[0] != 5&3 || data[0] != 5 || opn[0] != 1 {
+		t.Errorf("m latches = %d %d %d", addr[0], data[0], opn[0])
+	}
+	// n is a constant read: its dead data latch is elided to 0.
+	if addr[1] != 0 || data[1] != 0 || opn[1] != 0 {
+		t.Errorf("n latches = %d %d %d", addr[1], data[1], opn[1])
+	}
+}
+
+// TestDeadDataLatchElision: a constant-read memory never consumes its
+// data expression, so the compiled latch returns 0 — while the
+// unoptimized build still evaluates it.
+func TestDeadDataLatchElision(t *testing.T) {
+	src := "#d\nx m .\nA x 4 m 9\nM m 0 x 0 2\n.\n"
+	info := analyze(t, src)
+	vals := make([]int64, len(info.Order))
+	vals[info.Slot["m"]] = 1
+	addr := make([]int64, 1)
+	data := make([]int64, 1)
+	opn := make([]int64, 1)
+
+	c := New(info)
+	c.Comb(vals, 0) // x = 10
+	c.MemInputs(vals, addr, data, opn, 0)
+	if data[0] != 0 {
+		t.Errorf("optimized data latch = %d, want 0 (elided)", data[0])
+	}
+	nf := NewWithOptions(info, Options{NoFold: true})
+	nf.Comb(vals, 0)
+	nf.MemInputs(vals, addr, data, opn, 0)
+	if data[0] != 10 {
+		t.Errorf("unoptimized data latch = %d, want 10", data[0])
+	}
+}
+
+// TestShiftKeepsLoopSemantics: funct 6 retains dologic's loop (shift
+// by zero yields zero), even under folding.
+func TestShiftKeepsLoopSemantics(t *testing.T) {
+	info := analyze(t, "#s\na m .\nA a 6 1 m\nM m 0 0 0 1\n.")
+	c := New(info)
+	vals := make([]int64, len(info.Order))
+	vals[info.Slot["m"]] = 0
+	c.Comb(vals, 0)
+	if vals[info.Slot["a"]] != 0 {
+		t.Errorf("shift by 0 = %d, want 0 (the thesis' quirk)", vals[info.Slot["a"]])
+	}
+	vals[info.Slot["m"]] = 4
+	c.Comb(vals, 0)
+	if vals[info.Slot["a"]] != 16 {
+		t.Errorf("1<<4 = %d", vals[info.Slot["a"]])
+	}
+	if got := sim.DoLogic(sim.FnShl, 1, 4); got != 16 {
+		t.Errorf("DoLogic shift = %d", got)
+	}
+}
+
+// TestConstExprFolding: a fully constant concatenation compiles to a
+// single constant closure with the same value the interpreter computes.
+func TestConstExprFolding(t *testing.T) {
+	src := "#c\na m .\nA a 1 0 5.3,#10,%1.1\nM m 0 a 1 1\n.\n"
+	info := analyze(t, src)
+	c := New(info)
+	it := interp.New(info)
+	v1 := make([]int64, len(info.Order))
+	v2 := make([]int64, len(info.Order))
+	c.Comb(v1, 0)
+	it.Comb(v2, 0)
+	if v1[info.Slot["a"]] != v2[info.Slot["a"]] {
+		t.Errorf("const fold %d != interp %d", v1[info.Slot["a"]], v2[info.Slot["a"]])
+	}
+}

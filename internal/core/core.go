@@ -1,0 +1,146 @@
+// Package core is the facade over the ASIM II reproduction: one-call
+// parsing + semantic analysis, backend selection, and machine
+// construction. The root asim2 package re-exports this API for
+// downstream use; cmd/ tools and examples/ build on it directly.
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bytecode"
+	"repro/internal/compile"
+	"repro/internal/interp"
+	"repro/internal/rtl/ast"
+	"repro/internal/rtl/modules"
+	"repro/internal/rtl/parser"
+	"repro/internal/rtl/sem"
+	"repro/internal/sim"
+)
+
+// Re-exported types, so most users need only this package.
+type (
+	// Machine is the simulation engine (see internal/sim).
+	Machine = sim.Machine
+	// RuntimeError is a simulation-time failure.
+	RuntimeError = sim.RuntimeError
+	// Stats holds execution statistics.
+	Stats = sim.Stats
+	// Options configures I/O and tracing for a machine.
+	Options = sim.Options
+)
+
+// Backend selects an execution strategy.
+type Backend string
+
+const (
+	// Interp walks the specification tables each cycle (the ASIM
+	// baseline of Figure 5.1).
+	Interp Backend = "interp"
+	// InterpNaive additionally re-resolves every component reference
+	// by linear search, as the original ASIM's findname did.
+	InterpNaive Backend = "interp-naive"
+	// Compiled pre-compiles components to specialized closures (the
+	// ASIM II side of Figure 5.1, in-process form).
+	Compiled Backend = "compiled"
+	// CompiledNoFold is Compiled with §4.4's constant-folding
+	// optimizations disabled (ablation).
+	CompiledNoFold Backend = "compiled-nofold"
+	// Bytecode lowers expressions to flat part-programs run by an
+	// accumulator VM (ablation midpoint).
+	Bytecode Backend = "bytecode"
+)
+
+// Backends lists every available backend.
+func Backends() []Backend {
+	return []Backend{Interp, InterpNaive, Compiled, CompiledNoFold, Bytecode}
+}
+
+// Spec is a parsed and semantically analyzed specification.
+type Spec struct {
+	AST  *ast.Spec
+	Info *sem.Info
+}
+
+// ParseExtendedString parses the module dialect (the §5.4 "future
+// work" modularity construct implemented in internal/rtl/modules):
+// module definitions are expanded at compile time, then the result is
+// parsed and analyzed like any base specification. Plain
+// specifications pass through unchanged.
+func ParseExtendedString(name, src string) (*Spec, error) {
+	expanded, err := modules.Expand(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return ParseString(name, expanded)
+}
+
+// ParseString parses and analyzes specification text.
+func ParseString(name, src string) (*Spec, error) {
+	a, err := parser.ParseString(name, src)
+	if err != nil {
+		return nil, err
+	}
+	info, err := sem.Analyze(a)
+	if err != nil {
+		return nil, err
+	}
+	return &Spec{AST: a, Info: info}, nil
+}
+
+// Parse parses and analyzes a specification from r.
+func Parse(name string, r io.Reader) (*Spec, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return ParseString(name, string(data))
+}
+
+// ParseFile parses and analyzes a specification file.
+func ParseFile(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseString(path, string(data))
+}
+
+// Warnings returns the semantic warnings for the spec.
+func (s *Spec) Warnings() []string { return s.Info.Warnings }
+
+// DefaultCycles returns the "=" cycle count, or def when absent.
+func (s *Spec) DefaultCycles(def int64) int64 {
+	if s.AST.HasCycles {
+		return s.AST.Cycles
+	}
+	return def
+}
+
+// NewEvaluator builds the chosen backend for an analyzed spec.
+func NewEvaluator(info *sem.Info, b Backend) (sim.Evaluator, error) {
+	switch b {
+	case Interp, "":
+		return interp.New(info), nil
+	case InterpNaive:
+		return interp.NewNaive(info), nil
+	case Compiled:
+		return compile.New(info), nil
+	case CompiledNoFold:
+		return compile.NewWithOptions(info, compile.Options{NoFold: true}), nil
+	case Bytecode:
+		return bytecode.New(info), nil
+	default:
+		return nil, fmt.Errorf("unknown backend %q (have %v)", b, Backends())
+	}
+}
+
+// NewMachine builds a simulation machine for the spec.
+func NewMachine(s *Spec, b Backend, opts Options) (*Machine, error) {
+	ev, err := NewEvaluator(s.Info, b)
+	if err != nil {
+		return nil, err
+	}
+	return sim.New(s.Info, ev, opts), nil
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/specgen"
+)
+
+// runAll builds one machine per backend for src, runs each for cycles,
+// and requires bit-identical snapshots throughout.
+func requireEquivalence(t *testing.T, name, src string, cycles int64) {
+	t.Helper()
+	spec, err := ParseString(name, src)
+	if err != nil {
+		t.Fatalf("%s: parse: %v\n%s", name, err, src)
+	}
+	machines := make(map[Backend]*Machine)
+	for _, b := range Backends() {
+		m, err := NewMachine(spec, b, Options{})
+		if err != nil {
+			t.Fatalf("%s: backend %s: %v", name, b, err)
+		}
+		machines[b] = m
+	}
+	ref := machines[Interp]
+	const checkEvery = 7
+	for step := int64(0); step < cycles; step++ {
+		var refErr error
+		refErr = ref.Step()
+		for _, b := range Backends() {
+			if b == Interp {
+				continue
+			}
+			err := machines[b].Step()
+			if (err == nil) != (refErr == nil) {
+				t.Fatalf("%s: cycle %d: backend %s err=%v, interp err=%v\n%s",
+					name, step, b, err, refErr, src)
+			}
+		}
+		if refErr != nil {
+			return // all backends failed identically; done
+		}
+		if step%checkEvery != 0 && step != cycles-1 {
+			continue
+		}
+		want := ref.Snapshot()
+		for _, b := range Backends() {
+			if b == Interp {
+				continue
+			}
+			got := machines[b].Snapshot()
+			diffSnapshots(t, name, string(b), step, want, got, src)
+			if t.Failed() {
+				t.FailNow()
+			}
+		}
+	}
+}
+
+func diffSnapshots(t *testing.T, name, backend string, cycle int64, want, got map[string][]int64, src string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Errorf("%s: %s cycle %d: snapshot size %d != %d", name, backend, cycle, len(got), len(want))
+		return
+	}
+	for k, w := range want {
+		g, ok := got[k]
+		if !ok || len(g) != len(w) {
+			t.Errorf("%s: %s cycle %d: key %q missing or mis-sized", name, backend, cycle, k)
+			return
+		}
+		for i := range w {
+			if g[i] != w[i] {
+				t.Errorf("%s: %s cycle %d: %s[%d] = %d, interp has %d\nspec:\n%s",
+					name, backend, cycle, k, i, g[i], w[i], src)
+				return
+			}
+		}
+	}
+}
+
+// TestBackendEquivalenceRandom is the main cross-backend property
+// test: hundreds of random specifications must produce bit-identical
+// trajectories on every backend.
+func TestBackendEquivalenceRandom(t *testing.T) {
+	n := 120
+	if testing.Short() {
+		n = 20
+	}
+	for seed := 0; seed < n; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(seed)))
+			src := specgen.Generate(rng, specgen.Config{
+				Combs: 1 + rng.Intn(12),
+				Mems:  1 + rng.Intn(4),
+			})
+			requireEquivalence(t, fmt.Sprintf("seed%d", seed), src, 64)
+		})
+	}
+}
+
+// TestBackendEquivalenceLarge stresses bigger component graphs.
+func TestBackendEquivalenceLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for seed := 1000; seed < 1010; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		src := specgen.Generate(rng, specgen.Config{
+			Combs: 30 + rng.Intn(30),
+			Mems:  4 + rng.Intn(6),
+		})
+		requireEquivalence(t, fmt.Sprintf("large%d", seed), src, 48)
+	}
+}
+
+// TestBackendEquivalenceHandwritten pins the counter behaviour across
+// all backends.
+func TestBackendEquivalenceHandwritten(t *testing.T) {
+	requireEquivalence(t, "counter", `# counter
+count* inc .
+A inc 4 count 1
+M count 0 inc 1 1
+.
+`, 32)
+}
+
+func TestBackendsListedAndConstructible(t *testing.T) {
+	spec, err := ParseString("c", "#c\nc .\nA c 1 0 1\n.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range Backends() {
+		ev, err := NewEvaluator(spec.Info, b)
+		if err != nil {
+			t.Errorf("NewEvaluator(%s): %v", b, err)
+			continue
+		}
+		if ev.BackendName() != string(b) {
+			t.Errorf("backend %s reports name %q", b, ev.BackendName())
+		}
+	}
+	if _, err := NewEvaluator(spec.Info, "bogus"); err == nil {
+		t.Error("bogus backend should fail")
+	}
+	if _, err := NewMachine(spec, "bogus", Options{}); err == nil {
+		t.Error("NewMachine with bogus backend should fail")
+	}
+}
+
+func TestDefaultBackendIsInterp(t *testing.T) {
+	spec, err := ParseString("c", "#c\nc .\nA c 1 0 1\n.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := NewEvaluator(spec.Info, "")
+	if err != nil || ev.BackendName() != "interp" {
+		t.Errorf("default backend = %v, %v", ev, err)
+	}
+}

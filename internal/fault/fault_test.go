@@ -1,0 +1,157 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machines"
+	"repro/internal/sim"
+)
+
+func counter(t *testing.T) *sim.Machine {
+	t.Helper()
+	spec, err := core.ParseString("counter", machines.Counter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.NewMachine(spec, core.Compiled, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestStuckAt0FreezesBit(t *testing.T) {
+	m := counter(t)
+	// Pin bit 0 of the count register to 0 for the whole run: the
+	// counter can only ever show even values.
+	if _, err := Inject(m, Fault{Component: "count", Bit: 0, Kind: StuckAt0, From: 0, Until: 1 << 30}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if v := m.Value("count"); v%2 != 0 {
+			t.Fatalf("cycle %d: count = %d, want even under stuck-at-0", i, v)
+		}
+	}
+}
+
+func TestStuckAt1(t *testing.T) {
+	m := counter(t)
+	if _, err := Inject(m, Fault{Component: "count", Bit: 0, Kind: StuckAt1, From: 0, Until: 1 << 30}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if v := m.Value("count"); v%2 != 1 {
+			t.Fatalf("cycle %d: count = %d, want odd under stuck-at-1", i, v)
+		}
+	}
+}
+
+func TestTransientFlipOnce(t *testing.T) {
+	clean := counter(t)
+	if err := clean.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	want := clean.Value("count") + 8 // flipping bit 3 adds 8 (count stays < 8 mod 16... )
+
+	m := counter(t)
+	inj, err := Inject(m, Fault{Component: "count", Bit: 3, Kind: Flip, From: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if inj.Applied[0] != 1 {
+		t.Errorf("flip applied %d times, want 1", inj.Applied[0])
+	}
+	// The upset at cycle 5 adds 8 to the count permanently (mod 16).
+	if got := m.Value("count"); got != (want)%16 {
+		t.Errorf("count after flip = %d, want %d", got, want%16)
+	}
+}
+
+func TestInjectValidation(t *testing.T) {
+	m := counter(t)
+	if _, err := Inject(m, Fault{Component: "inc", Bit: 0, Kind: StuckAt0, Until: 1}); err == nil {
+		t.Error("combinational target accepted")
+	}
+	if _, err := Inject(m, Fault{Component: "count", Bit: 99, Kind: StuckAt0, Until: 1}); err == nil {
+		t.Error("bad bit accepted")
+	}
+	if _, err := Inject(m, Fault{Component: "count", Bit: 0, Kind: StuckAt0, From: 5, Until: 2}); err == nil {
+		t.Error("empty window accepted")
+	}
+	if _, err := Inject(m, Fault{Component: "ghost", Bit: 0, Kind: StuckAt0, Until: 1}); err == nil {
+		t.Error("unknown component accepted")
+	}
+}
+
+func TestFaultString(t *testing.T) {
+	f := Fault{Component: "count", Bit: 2, Kind: StuckAt1, From: 3, Until: 9}
+	if s := f.String(); !strings.Contains(s, "stuck-at-1") || !strings.Contains(s, "3..9") {
+		t.Errorf("String = %q", s)
+	}
+	f = Fault{Component: "count", Bit: 2, Kind: Flip, From: 3}
+	if s := f.String(); !strings.Contains(s, "transient-flip") || !strings.Contains(s, "cycle 3") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// TestCampaignOnTinyComputer reproduces the thesis' verification
+// workflow: run the divider fault-free, then once per fault, and
+// report which faults corrupt the quotient.
+func TestCampaignOnTinyComputer(t *testing.T) {
+	src, err := machines.TinyComputer(machines.TinyDivideImage(47, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := core.ParseString("tiny", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() (*sim.Machine, error) {
+		return core.NewMachine(spec, core.Compiled, core.Options{})
+	}
+	digest := func(m *sim.Machine) string {
+		return fmt.Sprintf("q=%d r=%d", m.MemCell("memory", 32), m.MemCell("memory", 30))
+	}
+	faults := []Fault{
+		// A stuck accumulator bit across many iterations must corrupt
+		// the division results.
+		{Component: "ac", Bit: 0, Kind: StuckAt1, From: 40, Until: 400},
+		// A flip after the program has halted (spin loop) is harmless.
+		{Component: "ac", Bit: 0, Kind: Flip, From: 1900},
+		// A stuck borrow bit ends the division immediately.
+		{Component: "borrow", Bit: 0, Kind: StuckAt1, From: 0, Until: 1 << 30},
+	}
+	results, golden, err := Campaign(mk, 2000, digest, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if golden != "q=9 r=2" {
+		t.Fatalf("golden digest = %q", golden)
+	}
+	if !results[0].Failed {
+		t.Error("mid-run ac flip should corrupt the division")
+	}
+	if results[1].Failed {
+		t.Error("post-halt ac flip should be harmless")
+	}
+	if !results[2].Failed {
+		t.Error("stuck borrow should corrupt the division")
+	}
+	for i, r := range results {
+		if r.Activated == 0 {
+			t.Errorf("fault %d never activated", i)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Package isp is an instruction-set-level simulator for the stack
+// machine ISA — the abstraction level the thesis calls ISP (§1.2,
+// §2.2.4): it interprets opcodes directly with no notion of clock
+// cycles, microstates or register transfers. The reproduction uses it
+// the way §2.3.2 describes multi-level validation: the RTL stack
+// machine and this ISP model must produce identical memory contents
+// and output streams.
+package isp
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stackasm"
+)
+
+// StackBase is where the expression stack starts in data memory; it
+// must match the RTL machine's sp reset value.
+const StackBase = 256
+
+// MemSize is the data memory size, matching the RTL stack RAM.
+const MemSize = 4096
+
+// CPU is the instruction-level model: a program counter, a top-of-
+// stack register, a stack pointer, and one flat data memory holding
+// globals below StackBase and the stack above it — the same layout the
+// RTL machine uses.
+type CPU struct {
+	PC     int64
+	TOS    int64
+	SP     int64
+	Mem    []int64
+	Prog   []int64
+	Halted bool
+
+	// Out receives every OUT value in order.
+	Out []int64
+
+	// Steps counts executed instructions.
+	Steps int64
+}
+
+// New builds a CPU for an assembled program.
+func New(prog []int64) *CPU {
+	return &CPU{
+		SP:   StackBase,
+		Mem:  make([]int64, MemSize),
+		Prog: append([]int64(nil), prog...),
+	}
+}
+
+// Error is an execution failure (bad address, stack underflow...).
+type Error struct {
+	PC  int64
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("isp: pc %d: %s", e.PC, e.Msg) }
+
+func (c *CPU) fail(format string, args ...interface{}) error {
+	return &Error{PC: c.PC, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (c *CPU) push(v int64) error {
+	if c.SP >= MemSize {
+		return c.fail("stack overflow")
+	}
+	c.Mem[c.SP] = v
+	c.SP++
+	return nil
+}
+
+func (c *CPU) pop() (int64, error) {
+	if c.SP <= StackBase {
+		return 0, c.fail("stack underflow")
+	}
+	c.SP--
+	return c.Mem[c.SP], nil
+}
+
+// Step executes one instruction.
+func (c *CPU) Step() error {
+	if c.Halted {
+		return nil
+	}
+	if c.PC < 0 || c.PC >= int64(len(c.Prog)) {
+		return c.fail("program counter outside program")
+	}
+	in := stackasm.Decode(c.Prog[c.PC])
+	c.PC++
+	c.Steps++
+
+	binop := func(funct int64) error {
+		nos, err := c.pop()
+		if err != nil {
+			return err
+		}
+		c.TOS = sim.DoLogic(funct, nos, c.TOS)
+		return nil
+	}
+
+	switch in.Op {
+	case stackasm.HALT:
+		c.Halted = true
+		c.PC--
+	case stackasm.LIT:
+		if err := c.push(c.TOS); err != nil {
+			return err
+		}
+		c.TOS = in.Arg
+	case stackasm.LOAD:
+		if err := c.push(c.TOS); err != nil {
+			return err
+		}
+		c.TOS = c.Mem[in.Arg]
+	case stackasm.STORE:
+		c.Mem[in.Arg] = c.TOS
+		v, err := c.pop()
+		if err != nil {
+			return err
+		}
+		c.TOS = v
+	case stackasm.ADD:
+		return binop(sim.FnAdd)
+	case stackasm.SUB:
+		return binop(sim.FnSub)
+	case stackasm.MUL:
+		return binop(sim.FnMul)
+	case stackasm.LT:
+		return binop(sim.FnLt)
+	case stackasm.EQ:
+		return binop(sim.FnEq)
+	case stackasm.JMP:
+		c.PC = in.Arg
+	case stackasm.JZ:
+		cond := c.TOS
+		v, err := c.pop()
+		if err != nil {
+			return err
+		}
+		c.TOS = v
+		if cond == 0 {
+			c.PC = in.Arg
+		}
+	case stackasm.OUT:
+		c.Out = append(c.Out, c.TOS)
+		v, err := c.pop()
+		if err != nil {
+			return err
+		}
+		c.TOS = v
+	case stackasm.DUP:
+		if err := c.push(c.TOS); err != nil {
+			return err
+		}
+	case stackasm.POP:
+		v, err := c.pop()
+		if err != nil {
+			return err
+		}
+		c.TOS = v
+	case stackasm.LDI:
+		if c.TOS < 0 || c.TOS >= MemSize {
+			return c.fail("LDI address %d out of range", c.TOS)
+		}
+		c.TOS = c.Mem[c.TOS]
+	case stackasm.STI:
+		addr := c.TOS
+		if addr < 0 || addr >= MemSize {
+			return c.fail("STI address %d out of range", addr)
+		}
+		val, err := c.pop()
+		if err != nil {
+			return err
+		}
+		c.Mem[addr] = val
+		v, err := c.pop()
+		if err != nil {
+			return err
+		}
+		c.TOS = v
+	default:
+		return c.fail("undefined opcode %d", in.Op)
+	}
+	return nil
+}
+
+// Run executes until HALT or maxSteps instructions.
+func (c *CPU) Run(maxSteps int64) error {
+	for i := int64(0); i < maxSteps && !c.Halted; i++ {
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package isp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stackasm"
+)
+
+func run(t *testing.T, src string) *CPU {
+	t.Helper()
+	p, err := stackasm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(p.Words)
+	if err := c.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestArithmetic(t *testing.T) {
+	c := run(t, "LIT 6\nLIT 7\nMUL\nLIT 2\nADD\nOUT\nHALT")
+	if len(c.Out) != 1 || c.Out[0] != 44 {
+		t.Errorf("out = %v, want [44]", c.Out)
+	}
+	if !c.Halted {
+		t.Error("not halted")
+	}
+}
+
+func TestSubOrder(t *testing.T) {
+	// SUB computes nos - tos: 10 - 3 = 7.
+	c := run(t, "LIT 10\nLIT 3\nSUB\nOUT\nHALT")
+	if c.Out[0] != 7 {
+		t.Errorf("10-3 = %d", c.Out[0])
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	c := run(t, "LIT 2\nLIT 5\nLT\nOUT\nLIT 5\nLIT 2\nLT\nOUT\nLIT 3\nLIT 3\nEQ\nOUT\nHALT")
+	want := []int64{1, 0, 1}
+	for i, w := range want {
+		if c.Out[i] != w {
+			t.Errorf("out[%d] = %d, want %d", i, c.Out[i], w)
+		}
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	c := run(t, "LIT 11\nSTORE 3\nLIT 22\nLIT 4\nSTI\nLOAD 3\nOUT\nLIT 4\nLDI\nOUT\nHALT")
+	if c.Mem[3] != 11 || c.Mem[4] != 22 {
+		t.Errorf("mem = %d %d", c.Mem[3], c.Mem[4])
+	}
+	if c.Out[0] != 11 || c.Out[1] != 22 {
+		t.Errorf("out = %v", c.Out)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	c := run(t, `
+        LIT 3
+        STORE 0
+loop:   LOAD 0
+        JZ end
+        LOAD 0
+        OUT
+        LOAD 0
+        LIT 1
+        SUB
+        STORE 0
+        JMP loop
+end:    HALT
+`)
+	want := []int64{3, 2, 1}
+	if len(c.Out) != 3 {
+		t.Fatalf("out = %v", c.Out)
+	}
+	for i := range want {
+		if c.Out[i] != want[i] {
+			t.Errorf("out = %v, want %v", c.Out, want)
+		}
+	}
+}
+
+func TestHaltStopsAndPinsPC(t *testing.T) {
+	c := run(t, "HALT")
+	if !c.Halted || c.PC != 0 {
+		t.Errorf("halted=%v pc=%d", c.Halted, c.PC)
+	}
+	// Further steps are no-ops.
+	if err := c.Step(); err != nil || c.Steps != 1 {
+		t.Errorf("step after halt: err=%v steps=%d", err, c.Steps)
+	}
+}
+
+func TestStackUnderflow(t *testing.T) {
+	p, _ := stackasm.Assemble("POP\nHALT")
+	c := New(p.Words)
+	if err := c.Run(10); err == nil || !strings.Contains(err.Error(), "underflow") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPCOutOfRange(t *testing.T) {
+	p, _ := stackasm.Assemble("JMP 100\nHALT")
+	c := New(p.Words)
+	if err := c.Run(10); err == nil || !strings.Contains(err.Error(), "program counter") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBadIndirectAddress(t *testing.T) {
+	p, _ := stackasm.Assemble("LIT 4095\nLIT 10\nADD\nLDI\nHALT")
+	c := New(p.Words)
+	if err := c.Run(10); err == nil || !strings.Contains(err.Error(), "LDI address") {
+		t.Errorf("err = %v", err)
+	}
+	p, _ = stackasm.Assemble("LIT 1\nLIT 4095\nLIT 10\nADD\nSTI\nHALT")
+	c = New(p.Words)
+	if err := c.Run(10); err == nil || !strings.Contains(err.Error(), "STI address") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDupPop(t *testing.T) {
+	c := run(t, "LIT 8\nDUP\nDUP\nADD\nADD\nOUT\nHALT")
+	if c.Out[0] != 24 {
+		t.Errorf("out = %v", c.Out)
+	}
+	if c.SP != StackBase {
+		t.Errorf("sp = %d, want %d", c.SP, StackBase)
+	}
+}
+
+func TestMaxStepsBound(t *testing.T) {
+	p, _ := stackasm.Assemble("loop: JMP loop")
+	c := New(p.Words)
+	if err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if c.Halted || c.Steps != 100 {
+		t.Errorf("halted=%v steps=%d", c.Halted, c.Steps)
+	}
+}

@@ -1,0 +1,177 @@
+// Package lockstep implements §2.3.2's multi-level design
+// verification as a tool: the microcoded RTL stack machine and the
+// instruction-set-level (ISP) model execute the same program side by
+// side, synchronizing at every instruction fetch and comparing the
+// architectural state (pc, sp, tos — and on demand the data memory).
+// The first divergence is reported with both machines' views, which is
+// exactly how the thesis proposes validating a lower-level design
+// against its higher-level description.
+package lockstep
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/isp"
+	"repro/internal/machines"
+	"repro/internal/stackasm"
+)
+
+// Divergence describes the first state mismatch found.
+type Divergence struct {
+	Instruction int64 // how many instructions had retired
+	Cycle       int64 // RTL cycle at the synchronization point
+	Field       string
+	RTL         int64
+	ISP         int64
+}
+
+func (d *Divergence) Error() string {
+	return fmt.Sprintf("lockstep divergence after %d instructions (cycle %d): %s: rtl=%d isp=%d",
+		d.Instruction, d.Cycle, d.Field, d.RTL, d.ISP)
+}
+
+// Report summarizes a completed lockstep run.
+type Report struct {
+	Instructions int64 // instructions executed and compared
+	Cycles       int64 // RTL cycles consumed
+	Halted       bool  // both models reached HALT
+	// CPI is the measured RTL cycles per instruction.
+	CPI float64
+}
+
+// Options tunes a run.
+type Options struct {
+	Backend   core.Backend // RTL backend (default Compiled)
+	MaxInstrs int64        // instruction budget (default 1e6)
+	CheckMem  bool         // also compare the full data memory at each sync
+	MemPrefix int          // when CheckMem, compare cells [0, MemPrefix) only (0 = all)
+}
+
+// Run assembles nothing — it takes an already assembled program, spins
+// up both models, and drives them in lockstep. It returns a report,
+// or a *Divergence error at the first mismatch.
+func Run(prog []int64, opts Options) (*Report, error) {
+	if opts.Backend == "" {
+		opts.Backend = core.Compiled
+	}
+	if opts.MaxInstrs == 0 {
+		opts.MaxInstrs = 1_000_000
+	}
+
+	src, err := machines.StackMachine(prog)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := core.ParseString("lockstep", src)
+	if err != nil {
+		return nil, err
+	}
+	rtl, err := core.NewMachine(spec, opts.Backend, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	ref := isp.New(prog)
+
+	rep := &Report{}
+	for rep.Instructions < opts.MaxInstrs {
+		// Advance the RTL machine to its next fetch state (or HALT).
+		_, ok, err := rtl.RunUntil(func(m *core.Machine) bool {
+			s := m.Value("state")
+			return s == machines.FetchState || s == machines.HaltState
+		}, 64)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("lockstep: RTL machine stuck away from fetch (state %d)", rtl.Value("state"))
+		}
+		if rtl.Value("state") == machines.HaltState {
+			// Drain the ISP to its halt too; it may be exactly at it.
+			if !ref.Halted {
+				if err := ref.Step(); err != nil {
+					return nil, err
+				}
+			}
+			if !ref.Halted {
+				return nil, &Divergence{
+					Instruction: rep.Instructions, Cycle: rtl.Cycle(),
+					Field: "halted", RTL: 1, ISP: 0,
+				}
+			}
+			rep.Halted = true
+			break
+		}
+
+		// At a fetch boundary the previous instruction has fully
+		// retired on both sides; the architectural states must agree.
+		if err := compare(rtl, ref, rep.Instructions, opts); err != nil {
+			return nil, err
+		}
+		if ref.Halted {
+			return nil, &Divergence{
+				Instruction: rep.Instructions, Cycle: rtl.Cycle(),
+				Field: "halted", RTL: 0, ISP: 1,
+			}
+		}
+		if err := ref.Step(); err != nil {
+			return nil, err
+		}
+		// Step the RTL machine off the fetch state so RunUntil seeks
+		// the *next* boundary.
+		if err := rtl.Step(); err != nil {
+			return nil, err
+		}
+		rep.Instructions++
+	}
+	rep.Cycles = rtl.Cycle()
+	if rep.Instructions > 0 {
+		rep.CPI = float64(rep.Cycles) / float64(rep.Instructions)
+	}
+	return rep, nil
+}
+
+// compare checks the architectural state at a fetch boundary.
+func compare(rtl *core.Machine, ref *isp.CPU, instr int64, opts Options) error {
+	mk := func(field string, r, i int64) error {
+		if r == i {
+			return nil
+		}
+		return &Divergence{Instruction: instr, Cycle: rtl.Cycle(), Field: field, RTL: r, ISP: i}
+	}
+	if err := mk("pc", rtl.Value("pc"), ref.PC); err != nil {
+		return err
+	}
+	if err := mk("sp", rtl.Value("sp"), ref.SP); err != nil {
+		return err
+	}
+	if err := mk("tos", rtl.Value("tos"), ref.TOS); err != nil {
+		return err
+	}
+	if opts.CheckMem {
+		limit := len(ref.Mem)
+		if opts.MemPrefix > 0 && opts.MemPrefix < limit {
+			limit = opts.MemPrefix
+		}
+		for a := 0; a < limit; a++ {
+			// Skip the live stack region above sp: the RTL machine
+			// leaves stale values there, the ISP may differ.
+			if int64(a) >= ref.SP && a >= isp.StackBase {
+				continue
+			}
+			if rtl.MemCell("stack", a) != ref.Mem[a] {
+				return mk(fmt.Sprintf("mem[%d]", a), rtl.MemCell("stack", a), ref.Mem[a])
+			}
+		}
+	}
+	return nil
+}
+
+// RunSource assembles a program and runs it in lockstep.
+func RunSource(asm string, opts Options) (*Report, error) {
+	p, err := stackasm.Assemble(asm)
+	if err != nil {
+		return nil, err
+	}
+	return Run(p.Words, opts)
+}

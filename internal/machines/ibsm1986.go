@@ -1,0 +1,137 @@
+package machines
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file transcribes the thesis' own Itty Bitty Stack Machine — the
+// exact specification whose generated Pascal fills Appendix E and
+// whose 5545-cycle sieve run produced Figure 5.1. The Appendix D
+// source in the available scan is OCR-damaged, but Appendix E's
+// generated code names every expression and decode-ROM constant
+// explicitly, so the machine is reconstructed from there; the decode
+// ROM values cross-check against Appendix D's per-state microcode
+// comments (e.g. state 0's fetch word 4184 = ^12+^3+^4+^6 =
+// ~s+~l+~r+~i, ENTER's 2437 = ~w+~f+~p+~z+~v).
+//
+// Control-word bit assignment (the ~ macros of Appendix D):
+//
+//	bit 0  ~v  select frame pointer to load, not 1 to add
+//	bit 1  ~o  pop, not push
+//	bit 2  ~z  escape / adds-not-loads
+//	bit 3  ~l  load left from ram
+//	bit 4  ~r  load right from ram
+//	bit 5  ~y  frame-offset addressing
+//	bit 6  ~i  pc increment or branch
+//	bit 7  ~p  stack-pointer update
+//	bit 8  ~w  write into stack ram
+//	bit 9  ~g  goto, not increment
+//	bit 10 ~a  absolute addressing
+//	bit 11 ~f  frame-pointer update
+//	bit 12 ~s  select state from opcode
+//	bit 13 ~x  enable condition test
+//
+// The machine executes the Sieve of Eratosthenes (program ROM below,
+// 133 words) and prints each prime through the memory-mapped output at
+// stack-RAM addresses with bit 12 set; the low address bits are 0, so
+// primes emerge as single characters (chr(3), chr(5), ...).
+
+// ibsmROM is the 64-entry control ROM (Appendix E's ljbrom selector).
+var ibsmROM = []int64{
+	4184, 256, 256, 256, 288, 256, 256, 256, 296, 256,
+	143, 1536, 256, 150, 8326, 576, 256, 256, 396, 16,
+	320, 2182, 1792, 320, 320, 0, 0, 0, 0, 0,
+	0, 4164, 0, 132, 196, 196, 132, 134, 134, 134,
+	256, 256, 134, 134, 32, 134, 134, 256, 0, 196,
+	134, 134, 2437, 131, 64, 0, 0, 0, 0, 0,
+	0, 0, 0, 0,
+}
+
+// ibsmParm is the 64-entry second decode ROM (ljbparm).
+var ibsmParm = []int64{
+	0, 0, 387, 160, 25, 0, 224, 6, 9, 192,
+	11, 0, 0, 4, 15, 25, 416, 432, 9, 8,
+	433, 10, 96, 436, 407, 0, 18, 14, 13, 7,
+	5, 0, 31, 1, 2, 2, 12, 30, 29, 29,
+	0, 224, 30, 30, 12, 28, 27, 32, 0, 24,
+	26, 19, 64, 21, 22, 0, 0, 0, 0, 0,
+	0, 0, 0, 0,
+}
+
+// ibsmOp maps the low four opcode bits to an ALU function (ljbop).
+// Appendix E's scan drops one case; the gap is filled from Appendix
+// D's opcode-ALU ROM ("{5} %1000").
+var ibsmOp = []int64{0, 0, 1, 4, 1, 8, 13, 12, 3, 0, 4, 7, 2, 1, 12, 5}
+
+// ibsmProg is the 133-word sieve program (ljbprog's initialization).
+var ibsmProg = []int64{
+	0, 0, 3, 10, 0, 4, 1, 2, 4, 13,
+	2, 5, 2, 1, 10, 4, 2, 1, 0, 2,
+	13, 4, 3, 10, 7, 3, 1, 9, 14, 2,
+	5, 13, 1, 2, 1, 13, 2, 1, 12, 2,
+	6, 10, 12, 0, 1, 0, 0, 3, 10, 14,
+	2, 1, 12, 4, 4, 10, 2, 3, 10, 4,
+	0, 1, 1, 0, 0, 0, 13, 4, 2, 2,
+	13, 10, 4, 2, 6, 10, 1, 0, 2, 13,
+	2, 2, 12, 10, 4, 3, 5, 6, 2, 5,
+	14, 1, 3, 8, 9, 14, 2, 5, 13, 2,
+	4, 12, 2, 1, 10, 2, 4, 13, 2, 1,
+	12, 2, 1, 10, 4, 2, 1, 13, 3, 5,
+	7, 0, 1, 0, 0, 5, 13, 9, 14, 0,
+	0, 0, 0,
+}
+
+// IBSM1986Cycles is the run length Figure 5.1 used ("the maximum
+// number of cycles allowable in this specification").
+const IBSM1986Cycles = 5545
+
+// IBSM1986 returns the transcribed 1986 stack machine specification.
+func IBSM1986() string {
+	var b strings.Builder
+	b.WriteString("# Itty Bitty Stack Machine Simulator Specification (Bartel 1986, from Appendix E)\n")
+	fmt.Fprintf(&b, "= %d\n", IBSM1986Cycles)
+	b.WriteString("state rom parm relpc offset psp sp pushpop selfp fp afp addr ram op left right neg selr alu exit write newpc pc prog ir data newst .\n")
+
+	line := func(format string, args ...interface{}) {
+		fmt.Fprintf(&b, format, args...)
+		b.WriteByte('\n')
+	}
+	nums := func(vs []int64) string {
+		out := make([]string, len(vs))
+		for i, v := range vs {
+			out[i] = fmt.Sprintf("%d", v)
+		}
+		return strings.Join(out, " ")
+	}
+
+	line("S rom state.0.5 %s", nums(ibsmROM))
+	line("S parm state.0.5 %s", nums(ibsmParm))
+	line("A exit %%110,rom.8 ram rom.8,#000000000000")
+	line("S relpc rom.10 pc 0")
+	line("S offset rom.9 1 left")
+	line("A newpc %%100 relpc offset")
+	line("S psp rom.0.2 0 0 0 fp 1 left 1 right")
+	line("A pushpop rom.2,#0,rom.1 sp psp")
+	line("S selfp ir.0 sp ram")
+	line("A afp %%100 fp left")
+	line("S addr rom.5 sp afp")
+	line("A neg %%101 0 ram")
+	line("S op ir.0.3 %s", nums(ibsmOp))
+	line("S selr parm.5 right fp")
+	line("A alu op ram selr")
+	line("S newst rom.12.13,exit.0 parm.0.4 parm.0.4 1,rom.2,prog.0.3 1,rom.2,prog.0.3 0 parm.0.4 0 1,rom.2,prog.0.3")
+	line("S write parm.5.7 alu alu fp pc ir.0 ram.0.11,data.0.3 left neg")
+	line("M state 0 newst 1 1")
+	line("M pc 0 newpc rom.6 1")
+	line("M sp 0 pushpop rom.7 1")
+	line("M fp 0 selfp rom.11 1")
+	line("M left 0 ram rom.3 1")
+	line("M right 0 ram rom.4 1")
+	line("M ir 0 prog rom.12 1")
+	line("M data 0 prog parm.8 1")
+	line("M ram addr.0.11 write addr.12,rom.8 4096")
+	line("M prog pc 0 0 -%d %s", len(ibsmProg), nums(ibsmProg))
+	b.WriteString(".\n")
+	return b.String()
+}

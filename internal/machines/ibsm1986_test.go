@@ -1,0 +1,141 @@
+package machines
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// ibsmWant is the sieve output the thesis' stack machine produces in
+// its 5545-cycle Figure 5.1 run: one prime per line through the
+// memory-mapped integer output.
+func ibsmWant() string {
+	var b strings.Builder
+	for _, p := range []int{3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43} {
+		fmt.Fprintf(&b, "%d\n", p)
+	}
+	return b.String()
+}
+
+// TestIBSM1986PrintsPrimes runs the transcribed 1986 machine for the
+// thesis' 5545 cycles and checks the prime stream — the Appendix D/E
+// experiment reproduced on the original microcode.
+func TestIBSM1986PrintsPrimes(t *testing.T) {
+	spec, err := core.ParseString("ibsm1986", IBSM1986())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := spec.Warnings(); len(w) != 0 {
+		t.Fatalf("warnings: %v", w)
+	}
+	var out strings.Builder
+	m, err := core.NewMachine(spec, core.Compiled, core.Options{Output: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(IBSM1986Cycles); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != ibsmWant() {
+		t.Errorf("output = %q, want %q", out.String(), ibsmWant())
+	}
+}
+
+// TestIBSM1986AllBackends requires identical output and final state on
+// every backend.
+func TestIBSM1986AllBackends(t *testing.T) {
+	spec, err := core.ParseString("ibsm1986", IBSM1986())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		out           string
+		sp, fp, state int64
+	}
+	var ref result
+	for i, b := range core.Backends() {
+		var out strings.Builder
+		m, err := core.NewMachine(spec, b, core.Options{Output: &out})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(IBSM1986Cycles); err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		r := result{out.String(), m.Value("sp"), m.Value("fp"), m.Value("state")}
+		if i == 0 {
+			ref = r
+			continue
+		}
+		if r != ref {
+			t.Errorf("%s: %+v != %+v", b, r, ref)
+		}
+	}
+	if ref.out != ibsmWant() {
+		t.Errorf("reference output = %q", ref.out)
+	}
+}
+
+// TestIBSM1986Stats pins the workload's memory-access profile: the
+// thesis highlights "execution cycles required, memory accesses" as
+// the statistics an RTL run yields (§1.4).
+func TestIBSM1986Stats(t *testing.T) {
+	spec, err := core.ParseString("ibsm1986", IBSM1986())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.NewMachine(spec, core.Compiled, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(IBSM1986Cycles); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Cycles != IBSM1986Cycles {
+		t.Errorf("cycles = %d", st.Cycles)
+	}
+	// Exactly 13 primes go out through the memory-mapped channel.
+	var outputs int64
+	for _, ops := range st.MemOps {
+		outputs += ops.Outputs
+	}
+	if outputs != 13 {
+		t.Errorf("memory-mapped outputs = %d, want 13", outputs)
+	}
+	// prog is a pure ROM: never written.
+	for i, mem := range spec.Info.Mems {
+		if mem.Name == "prog" && st.MemOps[i].Writes != 0 {
+			t.Errorf("prog was written %d times", st.MemOps[i].Writes)
+		}
+	}
+}
+
+// TestIBSM1986Determinism: two runs produce identical snapshots.
+func TestIBSM1986Determinism(t *testing.T) {
+	spec, err := core.ParseString("ibsm1986", IBSM1986())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := func() map[string][]int64 {
+		m, err := core.NewMachine(spec, core.Bytecode, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(2500); err != nil {
+			t.Fatal(err)
+		}
+		return m.Snapshot()
+	}
+	a, b := snap(), snap()
+	for k, av := range a {
+		bv := b[k]
+		for i := range av {
+			if av[i] != bv[i] {
+				t.Fatalf("%s[%d]: %d != %d", k, i, av[i], bv[i])
+			}
+		}
+	}
+}

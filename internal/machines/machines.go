@@ -1,0 +1,444 @@
+// Package machines builds the ASIM II specifications used throughout
+// the thesis' examples and evaluation:
+//
+//   - Counter: the "simple counter" end of §3.2's range;
+//   - TinyComputer: the Appendix F 10-bit, five-instruction computer
+//     (load / store / branch / branch-on-borrow / subtract);
+//   - StackMachine: the Appendix D microcoded stack machine that runs
+//     the Sieve of Eratosthenes for Figure 5.1.
+//
+// All builders return specification *source text*, so every use also
+// exercises the full parse → analyze → simulate pipeline.
+package machines
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stackasm"
+)
+
+// Counter returns a 4-bit counter with a carry-out, the smallest
+// meaningful three-primitive specification.
+func Counter() string {
+	return `# four-bit counter with carry out
+= 20
+count* carry* inc .
+A inc 4 count 1
+M count 0 inc.0.3 1 1
+A carry 1 0 inc.4
+.
+`
+}
+
+// TinyComputerOpcodes: instruction = opcode<<7 | address, 10-bit words.
+const (
+	TinyLD = 2 // ac := mem[a]
+	TinyST = 3 // mem[a] := ac
+	TinyBB = 4 // branch when borrow
+	TinyBR = 5 // branch always
+	TinySU = 6 // ac := ac - mem[a]; borrow := ac < mem[a]
+)
+
+// TinyWord encodes one tiny-computer instruction.
+func TinyWord(opcode, addr int64) int64 { return opcode<<7 | (addr & 127) }
+
+// TinyMemSize is the tiny computer's combined program/data memory.
+const TinyMemSize = 128
+
+// TinyComputer builds the Appendix F machine around the given 128-word
+// memory image (shorter images are zero-padded). The machine runs a
+// four-phase microcycle: instruction fetch, pc increment + ir load,
+// operand fetch, execute.
+func TinyComputer(image []int64) (string, error) {
+	if len(image) > TinyMemSize {
+		return nil2("tiny computer image has %d words, limit %d", len(image), TinyMemSize)
+	}
+	mem := make([]int64, TinyMemSize)
+	copy(mem, image)
+
+	var b strings.Builder
+	b.WriteString(`# tiny computer (Appendix F): LD ST BR BB SU, 10-bit words
+state nextstate phase pc* incpc pcstep pcdata ir ac* borrow* alu alufn blt bwe acwe isbr isbb isld isst issu bbtake taken brnow ldsu memwe phase23 maddr memory .
+M state 0 nextstate.0.1 1 1
+A nextstate 4 state 1
+S phase state.0.1 %0001 %0010 %0100 %1000
+A incpc 4 pc 1
+A isbr 12 ir.7.9 5
+A isbb 12 ir.7.9 4
+A isld 12 ir.7.9 2
+A isst 12 ir.7.9 3
+A issu 12 ir.7.9 6
+A bbtake 8 isbb borrow
+A taken 9 isbr bbtake
+A brnow 8 taken phase.3
+S pcstep phase.1 pc incpc
+S pcdata brnow.0 pcstep ir.0.6
+M pc 0 pcdata.0.6 1 1
+M ir 0 memory phase.1 1
+S alufn issu.0 1 5
+A alu alufn ac memory
+A ldsu 9 isld issu
+A acwe 8 ldsu phase.3
+M ac 0 alu.0.9 acwe 1
+A blt 13 ac memory
+A bwe 8 issu phase.3
+M borrow 0 blt bwe 1
+A memwe 8 isst phase.3
+A phase23 9 phase.2 phase.3
+S maddr phase23.0 pc ir.0.6
+M memory maddr.0.6 ac memwe -128`)
+	for _, w := range mem {
+		fmt.Fprintf(&b, " %d", w)
+	}
+	b.WriteString("\n.\n")
+	return b.String(), nil
+}
+
+func nil2(format string, args ...interface{}) (string, error) {
+	return "", fmt.Errorf(format, args...)
+}
+
+// TinyDivideImage builds the built-in tiny-computer demo program:
+// division by repeated subtraction. mem[30] starts as the dividend and
+// ends as the remainder; mem[31] is the divisor; mem[32] collects the
+// quotient (incremented by subtracting the constant -1 mod 1024 held
+// in mem[33] — the machine has no add instruction).
+func TinyDivideImage(dividend, divisor int64) []int64 {
+	img := make([]int64, TinyMemSize)
+	prog := []int64{
+		TinyWord(TinyLD, 30), // 0: ac := dividend
+		TinyWord(TinySU, 31), // 1: loop: ac -= divisor (sets borrow)
+		TinyWord(TinyBB, 9),  // 2: borrow -> done
+		TinyWord(TinyST, 30), // 3: remainder so far
+		TinyWord(TinyLD, 32), // 4: quotient
+		TinyWord(TinySU, 33), // 5: q - 1023 = q + 1 (mod 1024)
+		TinyWord(TinyST, 32), // 6:
+		TinyWord(TinyLD, 30), // 7: reload remainder
+		TinyWord(TinyBR, 1),  // 8: again
+		TinyWord(TinyBR, 9),  // 9: done: spin
+	}
+	copy(img, prog)
+	img[30] = dividend
+	img[31] = divisor
+	img[32] = 0
+	img[33] = 1023
+	return img
+}
+
+// TinyCyclesPerInstruction is the tiny computer's fixed instruction
+// latency (four microcycle phases).
+const TinyCyclesPerInstruction = 4
+
+// Stack machine layout constants, shared with the ISP model.
+const (
+	StackBase  = 256  // sp reset value; globals live below
+	StackRAM   = 4096 // stack/data RAM cells
+	HaltState  = 1    // microstate the machine spins in after HALT
+	FetchState = 22   // microstate that fetches instructions
+)
+
+// StackMachine builds the microcoded stack machine around an assembled
+// program. The ROM is padded with two zero words so the incremented pc
+// stays in range while the machine spins in HALT.
+//
+// Microstate assignments: 0 wait/boot, 1..16 the execute state of
+// opcode k at state k+1, 17 LOAD2, 19 LDI2, 20 STI2, 21 STI3, 22
+// fetch. Control signals are selectors indexed by state.0.4 with 32
+// cases, exactly in the style of Appendix D's decode ROMs.
+func StackMachine(prog []int64) (string, error) {
+	if len(prog) == 0 {
+		return nil2("empty program")
+	}
+	if len(prog)+2 > StackRAM {
+		return nil2("program too long: %d words", len(prog))
+	}
+	rom := append(append([]int64(nil), prog...), 0, 0)
+
+	// Per-state control values, indexed 0..31.
+	sel := func(def string, m map[int]string) []string {
+		out := make([]string, 32)
+		for i := range out {
+			out[i] = def
+		}
+		for k, v := range m {
+			out[k] = v
+		}
+		return out
+	}
+	nextst := sel("22", map[int]string{
+		0: "22", 1: "1", 3: "17", 10: "0", 11: "0",
+		15: "19", 16: "20", 20: "21", 22: "opst",
+	})
+	spdata := sel("sp", map[int]string{
+		2: "spinc", 4: "spdec", 5: "spdec", 6: "spdec", 7: "spdec",
+		8: "spdec", 9: "spdec", 11: "spdec", 12: "spdec", 13: "spinc",
+		14: "spdec", 17: "spinc", 21: "spdec2",
+	})
+	alufn := sel("1", map[int]string{5: "4", 6: "5", 7: "7", 8: "13", 9: "12"})
+	tosdata := sel("tos", map[int]string{
+		2: "ir.0.11", 4: "stack", 5: "aluout", 6: "aluout", 7: "aluout",
+		8: "aluout", 9: "aluout", 11: "stack", 12: "stack", 14: "stack",
+		17: "stack", 19: "stack", 21: "stack",
+	})
+	stkaddr := sel("0", map[int]string{
+		2: "sp", 3: "ir.0.11", 4: "ir.0.11", 5: "spdec", 6: "spdec",
+		7: "spdec", 8: "spdec", 9: "spdec", 10: "spdec", 11: "spdec",
+		12: "1", 13: "sp", 14: "spdec", 15: "tos", 16: "tos", 17: "sp",
+		19: "spdec", 20: "spdec2", 21: "spdec2", 22: "spdec",
+	})
+	stkopn := sel("0", map[int]string{
+		2: "1", 4: "1", 12: "3", 13: "1", 16: "1", 17: "1",
+	})
+
+	var b strings.Builder
+	b.WriteString("# itty bitty stack machine (Appendix D reconstruction)\n")
+	b.WriteString("state pc sp tos ir prog stack opst nextst isf isboot tosz isjmp isjz jztake takebr pcinc pcstep pcdata spinc spdec spdec2 spdata spop alufn aluout tosdata issti1 stkdata stkaddr stkopn irdata .\n")
+
+	line := func(format string, args ...interface{}) {
+		fmt.Fprintf(&b, format, args...)
+		b.WriteByte('\n')
+	}
+	join := func(vs []string) string { return strings.Join(vs, " ") }
+
+	line("A opst 4 prog.12.15 1")
+	line("S nextst state.0.4 %s", join(nextst))
+	line("M state 0 nextst 1 1")
+	line("A isf 12 state.0.4 22")
+	line("A isboot 12 state.0.4 0")
+	line("S irdata isf.0 ir prog")
+	line("M ir 0 irdata 1 1")
+	line("A pcinc 4 pc 1")
+	line("A isjmp 12 state.0.4 10")
+	line("A isjz 12 state.0.4 11")
+	line("A tosz 12 tos 0")
+	line("A jztake 8 isjz tosz")
+	line("A takebr 9 isjmp jztake")
+	line("S pcstep isf.0 pc pcinc")
+	line("S pcdata takebr.0 pcstep ir.0.11")
+	line("M pc 0 pcdata 1 1")
+	line("A spinc 4 sp 1")
+	line("A spdec 5 sp 1")
+	line("A spdec2 5 sp 2")
+	line("S spdata state.0.4 %s", join(spdata))
+	line("S spop isboot.0 1 0")
+	line("M sp 0 spdata spop -1 %d", StackBase)
+	line("S alufn state.0.4 %s", join(alufn))
+	line("A aluout alufn stack tos")
+	line("S tosdata state.0.4 %s", join(tosdata))
+	line("M tos 0 tosdata 1 1")
+	line("A issti1 12 state.0.4 16")
+	line("S stkdata issti1.0 tos stack")
+	line("S stkaddr state.0.4 %s", join(stkaddr))
+	line("S stkopn state.0.4 %s", join(stkopn))
+	line("M stack stkaddr stkdata stkopn %d", StackRAM)
+	fmt.Fprintf(&b, "M prog pc 0 0 -%d", len(rom))
+	for _, w := range rom {
+		fmt.Fprintf(&b, " %d", w)
+	}
+	b.WriteString("\n.\n")
+	return b.String(), nil
+}
+
+// BCDCounter returns a multi-digit decimal counter written in the
+// module dialect (the §5.4 modularity extension): one "digit" module
+// instantiated per decade, carry-chained. Parse it with
+// core.ParseExtendedString. Digit d's value is component "d<k>val".
+func BCDCounter(digits int) string {
+	if digits < 1 {
+		digits = 1
+	}
+	var b strings.Builder
+	b.WriteString(`# multi-digit BCD counter built from a module (section 5.4 extension)
+D digit en
+A isnine 12 val 9
+A inc 4 val 1
+S nextv isnine.0 inc.0.3 0
+S sel @en val nextv
+M val 0 sel 1 1
+A co 8 isnine @en
+E
+`)
+	// Trace every digit value, most significant first.
+	for d := digits - 1; d >= 0; d-- {
+		fmt.Fprintf(&b, "d%dval* ", d)
+	}
+	b.WriteString(".\n")
+	b.WriteString("U d0 digit 1\n")
+	for d := 1; d < digits; d++ {
+		fmt.Fprintf(&b, "U d%d digit d%dco.0\n", d, d-1)
+	}
+	b.WriteString(".\n")
+	return b.String()
+}
+
+// BCDValue reads a BCD counter machine's current value.
+func BCDValue(m interface{ Value(string) int64 }, digits int) int64 {
+	var v, scale int64 = 0, 1
+	for d := 0; d < digits; d++ {
+		v += m.Value(fmt.Sprintf("d%dval", d)) * scale
+		scale *= 10
+	}
+	return v
+}
+
+// Sieve memory layout (globals in stack RAM below StackBase).
+const (
+	SieveVarI     = 0
+	SieveVarPrime = 1
+	SieveVarK     = 2
+	SieveFlags    = 16
+)
+
+// SieveSource returns the Sieve of Eratosthenes in stack machine
+// assembly — the Appendix D workload. size is the flags array length;
+// each set flag i yields the prime 2i+3 (the classic BYTE sieve).
+func SieveSource(size int) string {
+	return fmt.Sprintf(`; sieve of eratosthenes (Appendix D workload)
+SIZE = %d
+I = %d
+P = %d
+K = %d
+FLAGS = %d
+
+        LIT 0
+        STORE I
+init:   LOAD I
+        LIT SIZE
+        LT
+        JZ initdone
+        LIT 1           ; flags[i] := 1
+        LOAD I
+        LIT FLAGS
+        ADD
+        STI
+        LOAD I          ; i++
+        LIT 1
+        ADD
+        STORE I
+        JMP init
+initdone:
+        LIT 0
+        STORE I
+outer:  LOAD I
+        LIT SIZE
+        LT
+        JZ done
+        LOAD I          ; flags[i] still set?
+        LIT FLAGS
+        ADD
+        LDI
+        JZ next
+        LOAD I          ; prime := i + i + 3
+        DUP
+        ADD
+        LIT 3
+        ADD
+        DUP
+        STORE P
+        OUT             ; print the prime
+        LOAD I          ; k := i + prime
+        LOAD P
+        ADD
+        STORE K
+inner:  LOAD K
+        LIT SIZE
+        LT
+        JZ next
+        LIT 0           ; flags[k] := 0
+        LOAD K
+        LIT FLAGS
+        ADD
+        STI
+        LOAD K          ; k += prime
+        LOAD P
+        ADD
+        STORE K
+        JMP inner
+next:   LOAD I          ; i++
+        LIT 1
+        ADD
+        STORE I
+        JMP outer
+done:   HALT
+`, size, SieveVarI, SieveVarPrime, SieveVarK, SieveFlags)
+}
+
+// SieveProgram assembles the sieve for the given flags-array size.
+func SieveProgram(size int) (*stackasm.Program, error) {
+	return stackasm.Assemble(SieveSource(size))
+}
+
+// SieveSpec builds the complete stack machine specification running
+// the sieve.
+func SieveSpec(size int) (string, error) {
+	p, err := SieveProgram(size)
+	if err != nil {
+		return "", err
+	}
+	return StackMachine(p.Words)
+}
+
+// GCDSource returns Euclid's algorithm by repeated subtraction in
+// stack machine assembly: it prints gcd(a, b) through the
+// memory-mapped integer output and halts. A second canned workload
+// exercising the comparison/branch paths the sieve barely touches.
+func GCDSource(a, b int64) string {
+	return fmt.Sprintf(`; gcd by repeated subtraction
+A = 0
+B = 1
+
+        LIT %d
+        STORE A
+        LIT %d
+        STORE B
+loop:   LOAD B
+        JZ done         ; b == 0 -> gcd is a
+        LOAD A
+        LOAD B
+        LT              ; a < b ?
+        JZ subt         ; no: a := a - b
+        LOAD A          ; yes: swap a and b
+        LOAD B
+        STORE A
+        STORE B
+        JMP loop
+subt:   LOAD A
+        LOAD B
+        SUB
+        STORE A
+        JMP loop
+done:   LOAD A
+        OUT
+        HALT
+`, a, b)
+}
+
+// GCD is the reference implementation for the workload above.
+func GCD(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// SievePrimes computes the expected output of the sieve workload: for
+// each i in [0,size) whose flag survives, the prime 2i+3.
+func SievePrimes(size int) []int64 {
+	flags := make([]bool, size)
+	for i := range flags {
+		flags[i] = true
+	}
+	var primes []int64
+	for i := 0; i < size; i++ {
+		if !flags[i] {
+			continue
+		}
+		p := int64(2*i + 3)
+		primes = append(primes, p)
+		for k := int64(i) + p; k < int64(size); k += p {
+			flags[k] = false // mark composite
+		}
+	}
+	return primes
+}

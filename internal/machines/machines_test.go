@@ -1,0 +1,397 @@
+package machines
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/isp"
+	"repro/internal/stackasm"
+)
+
+func build(t *testing.T, src string, backend core.Backend, opts core.Options) *core.Machine {
+	t.Helper()
+	spec, err := core.ParseString("machine", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if w := spec.Warnings(); len(w) != 0 {
+		t.Fatalf("unexpected warnings: %v", w)
+	}
+	m, err := core.NewMachine(spec, backend, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCounterWrapsWithCarry(t *testing.T) {
+	m := build(t, Counter(), core.Compiled, core.Options{})
+	sawCarry := false
+	for i := 0; i < 40; i++ {
+		if err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if m.Value("count") != int64((i+1)%16) {
+			t.Fatalf("cycle %d: count = %d, want %d", i, m.Value("count"), (i+1)%16)
+		}
+		if m.Value("carry") == 1 {
+			sawCarry = true
+			// carry is combinational on count+1; when it asserts, the
+			// register has just wrapped to 0 in the same cycle.
+			if m.Value("count") != 0 {
+				t.Fatalf("carry asserted at count=%d, want 0 (just wrapped)", m.Value("count"))
+			}
+		}
+	}
+	if !sawCarry {
+		t.Error("carry never asserted across a wrap")
+	}
+}
+
+func TestTinyComputerDivision(t *testing.T) {
+	cases := []struct{ dividend, divisor, q, r int64 }{
+		{47, 5, 9, 2},
+		{100, 10, 10, 0},
+		{7, 9, 0, 7},
+		{0, 3, 0, 0},
+		{1023, 1, 1023, 0},
+	}
+	for _, c := range cases {
+		src, err := TinyComputer(TinyDivideImage(c.dividend, c.divisor))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := build(t, src, core.Compiled, core.Options{})
+		// Run until the program spins at the done instruction (pc 9)
+		// long enough for any in-flight instruction to finish.
+		if err := m.Run(int64(TinyCyclesPerInstruction) * 8 * (c.dividend/max64(c.divisor, 1) + 4)); err != nil {
+			t.Fatalf("divide %d/%d: %v", c.dividend, c.divisor, err)
+		}
+		if got := m.MemCell("memory", 32); got != c.q {
+			t.Errorf("%d/%d quotient = %d, want %d", c.dividend, c.divisor, got, c.q)
+		}
+		if got := m.MemCell("memory", 30); got != c.r {
+			t.Errorf("%d/%d remainder = %d, want %d", c.dividend, c.divisor, got, c.r)
+		}
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestBCDCounter exercises the module dialect end to end: a 3-digit
+// decimal counter built from one module instantiated three times must
+// count cycles modulo 1000, with correct carry propagation.
+func TestBCDCounter(t *testing.T) {
+	spec, err := core.ParseExtendedString("bcd", BCDCounter(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := spec.Warnings(); len(w) != 0 {
+		t.Fatalf("warnings: %v", w)
+	}
+	m, err := core.NewMachine(spec, core.Compiled, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 1205; i++ {
+		if err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+		want := int64(i % 1000)
+		if got := BCDValue(m, 3); got != want {
+			t.Fatalf("cycle %d: BCD value = %d, want %d", i, got, want)
+		}
+		for d := 0; d < 3; d++ {
+			if v := m.Value(fmt.Sprintf("d%dval", d)); v > 9 {
+				t.Fatalf("cycle %d: digit %d = %d, not a BCD digit", i, d, v)
+			}
+		}
+	}
+}
+
+func TestBCDCounterAcrossBackends(t *testing.T) {
+	spec, err := core.ParseExtendedString("bcd", BCDCounter(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range core.Backends() {
+		m, err := core.NewMachine(spec, b, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(137); err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		if got := BCDValue(m, 2); got != 37 {
+			t.Errorf("%s: value = %d, want 37", b, got)
+		}
+	}
+}
+
+func TestTinyComputerImageTooLong(t *testing.T) {
+	if _, err := TinyComputer(make([]int64, TinyMemSize+1)); err == nil {
+		t.Error("oversized image accepted")
+	}
+}
+
+func TestSievePrimesReference(t *testing.T) {
+	got := SievePrimes(20)
+	want := []int64{3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41}
+	if len(got) != len(want) {
+		t.Fatalf("primes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("primes = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSieveISP checks the assembled sieve on the instruction-level
+// simulator against the closed-form expected primes.
+func TestSieveISP(t *testing.T) {
+	for _, size := range []int{5, 20, 50} {
+		prog, err := SieveProgram(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cpu := isp.New(prog.Words)
+		if err := cpu.Run(1_000_000); err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if !cpu.Halted {
+			t.Fatalf("size %d: did not halt", size)
+		}
+		want := SievePrimes(size)
+		if fmt.Sprint(cpu.Out) != fmt.Sprint(want) {
+			t.Errorf("size %d: ISP primes = %v, want %v", size, cpu.Out, want)
+		}
+	}
+}
+
+// TestSieveRTL runs the full microcoded machine on the compiled
+// backend and checks the printed primes — the Appendix D/E experiment
+// end to end.
+func TestSieveRTL(t *testing.T) {
+	src, err := SieveSpec(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	m := build(t, src, core.Compiled, core.Options{Output: &out})
+	n, halted, err := m.RunUntil(func(m *core.Machine) bool {
+		return m.Value("state") == HaltState
+	}, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !halted {
+		t.Fatalf("machine did not halt in %d cycles", n)
+	}
+	t.Logf("sieve(20) halted after %d cycles", n)
+	var want strings.Builder
+	for _, p := range SievePrimes(20) {
+		fmt.Fprintf(&want, "%d\n", p)
+	}
+	if out.String() != want.String() {
+		t.Errorf("RTL output:\n%s\nwant:\n%s", out.String(), want.String())
+	}
+}
+
+// TestSieveRTLAllBackends cross-checks the printed primes and final
+// machine state on every backend.
+func TestSieveRTLAllBackends(t *testing.T) {
+	src, err := SieveSpec(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		out    string
+		cycles int64
+	}
+	results := map[core.Backend]result{}
+	for _, b := range core.Backends() {
+		var out strings.Builder
+		m := build(t, src, b, core.Options{Output: &out})
+		n, halted, err := m.RunUntil(func(m *core.Machine) bool {
+			return m.Value("state") == HaltState
+		}, 100_000)
+		if err != nil || !halted {
+			t.Fatalf("backend %s: halted=%v err=%v", b, halted, err)
+		}
+		results[b] = result{out.String(), n}
+	}
+	ref := results[core.Interp]
+	for b, r := range results {
+		if r != ref {
+			t.Errorf("backend %s: %+v != interp %+v", b, r, ref)
+		}
+	}
+}
+
+// TestRTLMatchesISP is the §2.3.2 multi-level validation: the RTL
+// machine and the ISP model must agree on outputs and on the final
+// data memory (globals and flags region).
+func TestRTLMatchesISP(t *testing.T) {
+	const size = 15
+	prog, err := SieveProgram(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := isp.New(prog.Words)
+	if err := cpu.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	src, err := StackMachine(prog.Words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	m := build(t, src, core.Compiled, core.Options{Output: &out})
+	if _, halted, err := m.RunUntil(func(m *core.Machine) bool {
+		return m.Value("state") == HaltState
+	}, 200_000); err != nil || !halted {
+		t.Fatalf("halted=%v err=%v", halted, err)
+	}
+
+	var ispOut strings.Builder
+	for _, v := range cpu.Out {
+		fmt.Fprintf(&ispOut, "%d\n", v)
+	}
+	if out.String() != ispOut.String() {
+		t.Errorf("RTL out %q != ISP out %q", out.String(), ispOut.String())
+	}
+	for a := 0; a < SieveFlags+size; a++ {
+		if rtl, ispV := m.MemCell("stack", a), cpu.Mem[a]; rtl != ispV {
+			t.Errorf("mem[%d]: RTL %d != ISP %d", a, rtl, ispV)
+		}
+	}
+}
+
+// TestGCDWorkload validates the second canned program on the ISP
+// model and end-to-end on the RTL machine.
+func TestGCDWorkload(t *testing.T) {
+	cases := [][2]int64{{48, 36}, {35, 64}, {7, 7}, {0, 9}, {9, 0}, {1, 100}, {1071, 462}}
+	for _, c := range cases {
+		a, b := c[0], c[1]
+		prog, err := stackasm.Assemble(GCDSource(a, b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cpu := isp.New(prog.Words)
+		if err := cpu.Run(1_000_000); err != nil {
+			t.Fatalf("gcd(%d,%d) isp: %v", a, b, err)
+		}
+		want := GCD(a, b)
+		if len(cpu.Out) != 1 || cpu.Out[0] != want {
+			t.Errorf("gcd(%d,%d) ISP out = %v, want [%d]", a, b, cpu.Out, want)
+		}
+
+		spec, err := StackMachine(prog.Words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out strings.Builder
+		m := build(t, spec, core.Compiled, core.Options{Output: &out})
+		if _, halted, err := m.RunUntil(func(m *core.Machine) bool {
+			return m.Value("state") == HaltState
+		}, 1_000_000); err != nil || !halted {
+			t.Fatalf("gcd(%d,%d) RTL: halted=%v err=%v", a, b, halted, err)
+		}
+		if got := strings.TrimSpace(out.String()); got != fmt.Sprint(want) {
+			t.Errorf("gcd(%d,%d) RTL out = %q, want %d", a, b, got, want)
+		}
+	}
+}
+
+// TestSieveCycleCount pins the workload scale near the thesis' 5545
+// cycles (Figure 5.1 ran the stack machine for 5545 cycles).
+func TestSieveCycleCount(t *testing.T) {
+	src, err := SieveSpec(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := build(t, src, core.Compiled, core.Options{})
+	n, halted, err := m.RunUntil(func(m *core.Machine) bool {
+		return m.Value("state") == HaltState
+	}, 200_000)
+	if err != nil || !halted {
+		t.Fatalf("halted=%v err=%v", halted, err)
+	}
+	if n < 2000 || n > 20000 {
+		t.Errorf("sieve(20) took %d cycles; expected the same order of magnitude as the thesis' 5545", n)
+	}
+}
+
+func TestStackMachineRejectsBadPrograms(t *testing.T) {
+	if _, err := StackMachine(nil); err == nil {
+		t.Error("empty program accepted")
+	}
+	if _, err := StackMachine(make([]int64, StackRAM)); err == nil {
+		t.Error("oversized program accepted")
+	}
+}
+
+// TestStackMachineInstr exercises each opcode on the RTL machine with
+// a tiny program per opcode, validated against the ISP model.
+func TestStackMachineInstrVsISP(t *testing.T) {
+	programs := map[string]string{
+		"lit-out":   "LIT 7\nOUT\nHALT",
+		"add":       "LIT 2\nLIT 3\nADD\nOUT\nHALT",
+		"sub":       "LIT 10\nLIT 4\nSUB\nOUT\nHALT",
+		"mul":       "LIT 6\nLIT 7\nMUL\nOUT\nHALT",
+		"lt":        "LIT 3\nLIT 5\nLT\nOUT\nLIT 5\nLIT 3\nLT\nOUT\nHALT",
+		"eq":        "LIT 4\nLIT 4\nEQ\nOUT\nLIT 4\nLIT 5\nEQ\nOUT\nHALT",
+		"dup":       "LIT 9\nDUP\nADD\nOUT\nHALT",
+		"pop":       "LIT 1\nLIT 2\nPOP\nOUT\nHALT",
+		"loadstore": "LIT 42\nSTORE 5\nLOAD 5\nOUT\nHALT",
+		"ldisti":    "LIT 99\nLIT 8\nSTI\nLIT 8\nLDI\nOUT\nHALT",
+		"jmp":       "JMP 2\nHALT\nLIT 1\nOUT\nHALT",
+		"jz-taken":  "LIT 0\nJZ 3\nHALT\nLIT 5\nOUT\nHALT",
+		"jz-not":    "LIT 1\nJZ 0\nLIT 6\nOUT\nHALT",
+		"deepstack": "LIT 1\nLIT 2\nLIT 3\nLIT 4\nADD\nADD\nADD\nOUT\nHALT",
+	}
+	for name, src := range programs {
+		t.Run(name, func(t *testing.T) {
+			prog, err := stackasm.Assemble(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cpu := isp.New(prog.Words)
+			if err := cpu.Run(10_000); err != nil {
+				t.Fatal(err)
+			}
+			spec, err := StackMachine(prog.Words)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out strings.Builder
+			m := build(t, spec, core.Compiled, core.Options{Output: &out})
+			if _, halted, err := m.RunUntil(func(m *core.Machine) bool {
+				return m.Value("state") == HaltState
+			}, 10_000); err != nil || !halted {
+				t.Fatalf("halted=%v err=%v", halted, err)
+			}
+			var want strings.Builder
+			for _, v := range cpu.Out {
+				fmt.Fprintf(&want, "%d\n", v)
+			}
+			if out.String() != want.String() {
+				t.Errorf("RTL out = %q, ISP out = %q", out.String(), want.String())
+			}
+			// TOS and SP must agree too.
+			if m.Value("tos") != cpu.TOS || m.Value("sp") != cpu.SP {
+				t.Errorf("RTL tos/sp = %d/%d, ISP = %d/%d",
+					m.Value("tos"), m.Value("sp"), cpu.TOS, cpu.SP)
+			}
+		})
+	}
+}

@@ -1,0 +1,209 @@
+// Package netlist implements §5.3's hardware-construction view: an
+// ASIM II specification "is a list of hardware components with the
+// wiring interconnection specified by the names of the components and
+// their bit fields". This exporter walks an analyzed spec and emits a
+// parts list with catalog suggestions (in the spirit of Appendix F's
+// "2K x 8 bit RAM / dual 4 to 1 multiplexor / quad D flip flop" list)
+// plus the wire list an engineer would follow to breadboard it.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rtl/ast"
+	"repro/internal/rtl/sem"
+	"repro/internal/sim"
+)
+
+// Part is one physical component suggestion.
+type Part struct {
+	Name      string // the spec component it realizes
+	Kind      ast.Kind
+	Width     int    // estimated output width in bits
+	Catalog   string // suggested part, Appendix F style
+	Detail    string // function/size specifics
+	FlipFlops int    // storage bits, for the summary
+}
+
+// Wire is one named connection: a source signal (with an optional bit
+// subfield) feeding a destination component port.
+type Wire struct {
+	From     string // source component
+	FromBits string // "" for the whole bus, or "3..4"
+	To       string // destination component
+	Port     string // destination port name (funct/left/right/select/in<N>/addr/data/opn)
+}
+
+func (w Wire) String() string {
+	src := w.From
+	if w.FromBits != "" {
+		src += "[" + w.FromBits + "]"
+	}
+	return fmt.Sprintf("%s -> %s.%s", src, w.To, w.Port)
+}
+
+// Netlist is the exported hardware view.
+type Netlist struct {
+	Parts []Part
+	Wires []Wire
+}
+
+// Build derives the netlist from an analyzed specification.
+func Build(info *sem.Info) *Netlist {
+	n := &Netlist{}
+	for _, c := range info.Spec.Components {
+		n.Parts = append(n.Parts, describe(info, c))
+		for i, e := range c.Operands() {
+			port := portName(c, i)
+			for _, p := range e.Parts {
+				r, ok := p.(*ast.Ref)
+				if !ok {
+					continue
+				}
+				w := Wire{From: r.Name, To: c.CompName(), Port: port}
+				switch r.Mode {
+				case ast.RefBit:
+					w.FromBits = fmt.Sprintf("%d", r.From)
+				case ast.RefRange:
+					w.FromBits = fmt.Sprintf("%d..%d", r.From, r.To)
+				}
+				n.Wires = append(n.Wires, w)
+			}
+		}
+	}
+	return n
+}
+
+func portName(c ast.Component, operand int) string {
+	switch c.(type) {
+	case *ast.ALU:
+		return [...]string{"funct", "left", "right"}[operand]
+	case *ast.Selector:
+		if operand == 0 {
+			return "select"
+		}
+		return fmt.Sprintf("in%d", operand-1)
+	case *ast.Memory:
+		return [...]string{"addr", "data", "opn"}[operand]
+	default:
+		return fmt.Sprintf("op%d", operand)
+	}
+}
+
+func describe(info *sem.Info, c ast.Component) Part {
+	p := Part{Name: c.CompName(), Kind: c.CompKind(), Width: info.OutputWidth(c)}
+	switch c := c.(type) {
+	case *ast.ALU:
+		if fv, ok := c.Funct.ConstValue(); ok {
+			p.Detail = sim.FunctionName(fv)
+			switch fv {
+			case sim.FnAdd, sim.FnSub:
+				p.Catalog = fmt.Sprintf("%d-bit adder", p.Width)
+			case sim.FnAnd, sim.FnOr, sim.FnXor, sim.FnNot:
+				p.Catalog = fmt.Sprintf("quad %s gate", strings.ToUpper(sim.FunctionName(fv)))
+			case sim.FnEq, sim.FnLt:
+				p.Catalog = fmt.Sprintf("%d-bit comparator", p.Width)
+			case sim.FnMul:
+				p.Catalog = fmt.Sprintf("%d-bit multiplier", p.Width)
+			case sim.FnShl:
+				p.Catalog = fmt.Sprintf("%d-bit barrel shifter", p.Width)
+			default:
+				p.Catalog = "wiring only"
+			}
+		} else {
+			p.Detail = "programmable function"
+			p.Catalog = fmt.Sprintf("%d-bit ALU", p.Width)
+		}
+	case *ast.Selector:
+		p.Detail = fmt.Sprintf("%d inputs", len(c.Cases))
+		p.Catalog = fmt.Sprintf("%d to 1 multiplexor", len(c.Cases))
+	case *ast.Memory:
+		bits := p.Width
+		if bits < 1 {
+			bits = 1
+		}
+		p.FlipFlops = c.Size * bits
+		switch {
+		case c.Size == 1:
+			p.Detail = "register"
+			p.Catalog = fmt.Sprintf("%d-bit D flip flop register", bits)
+		case c.Init != nil && constOp(c) == sim.OpRead:
+			p.Detail = "ROM"
+			p.Catalog = fmt.Sprintf("%d x %d bit ROM", c.Size, bits)
+		default:
+			p.Detail = "RAM"
+			p.Catalog = fmt.Sprintf("%d x %d bit RAM", c.Size, bits)
+		}
+	}
+	return p
+}
+
+// constOp returns the constant low-2-bit operation of a memory, or -1.
+func constOp(m *ast.Memory) int64 {
+	if v, ok := m.Opn.ConstValue(); ok {
+		return v & 3
+	}
+	return -1
+}
+
+// Summary aggregates the parts list.
+type Summary struct {
+	ALUs      int
+	Selectors int
+	Memories  int
+	Wires     int
+	Bits      int // total storage bits
+}
+
+// Summarize computes aggregate statistics.
+func (n *Netlist) Summarize() Summary {
+	s := Summary{Wires: len(n.Wires)}
+	for _, p := range n.Parts {
+		switch p.Kind {
+		case ast.KindALU:
+			s.ALUs++
+		case ast.KindSelector:
+			s.Selectors++
+		case ast.KindMemory:
+			s.Memories++
+		}
+		s.Bits += p.FlipFlops
+	}
+	return s
+}
+
+// String renders the full report: parts list, catalog summary, wires.
+func (n *Netlist) String() string {
+	var b strings.Builder
+	b.WriteString("PARTS\n")
+	for _, p := range n.Parts {
+		fmt.Fprintf(&b, "  %-12s %-8s %-28s %s\n", p.Name, p.Kind, p.Catalog, p.Detail)
+	}
+
+	// Appendix F-style consolidated catalog.
+	counts := map[string]int{}
+	for _, p := range n.Parts {
+		counts[p.Catalog]++
+	}
+	var cats []string
+	for c := range counts {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	b.WriteString("\nCATALOG\n")
+	for _, c := range cats {
+		fmt.Fprintf(&b, "  %3d x %s\n", counts[c], c)
+	}
+
+	b.WriteString("\nWIRES\n")
+	for _, w := range n.Wires {
+		fmt.Fprintf(&b, "  %s\n", w.String())
+	}
+
+	s := n.Summarize()
+	fmt.Fprintf(&b, "\nSUMMARY: %d ALUs, %d selectors, %d memories, %d wires, %d storage bits\n",
+		s.ALUs, s.Selectors, s.Memories, s.Wires, s.Bits)
+	return b.String()
+}

@@ -1,0 +1,170 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machines"
+	"repro/internal/rtl/ast"
+)
+
+func build(t *testing.T, src string) *Netlist {
+	t.Helper()
+	spec, err := core.ParseString("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(spec.Info)
+}
+
+func TestCounterNetlist(t *testing.T) {
+	n := build(t, machines.Counter())
+	s := n.Summarize()
+	if s.ALUs != 2 || s.Memories != 1 || s.Selectors != 0 {
+		t.Errorf("summary = %+v", s)
+	}
+	// inc reads count; count.data reads inc[0..3]; carry reads inc[4].
+	var found int
+	for _, w := range n.Wires {
+		switch w.String() {
+		case "count -> inc.left":
+			found++
+		case "inc[0..3] -> count.data":
+			found++
+		case "inc[4] -> carry.right":
+			found++
+		}
+	}
+	if found != 3 {
+		t.Errorf("wires = %v", n.Wires)
+	}
+}
+
+func TestPartSuggestions(t *testing.T) {
+	src := `#parts
+adder cmp mux reg rom ram dyn .
+A adder 4 ram.0.3 ram.0.3
+A cmp 12 ram.0.3 ram.0.3
+S mux ram.0 reg reg
+M reg 0 adder.0.3 1 1
+M rom ram.0.1 0 0 -4 1 2 3 4
+M ram reg.0.2 adder 1 8
+A dyn ram adder reg
+.
+`
+	n := build(t, src)
+	byName := map[string]Part{}
+	for _, p := range n.Parts {
+		byName[p.Name] = p
+	}
+	checks := map[string]string{
+		"adder": "adder",
+		"cmp":   "comparator",
+		"mux":   "2 to 1 multiplexor",
+		"reg":   "D flip flop register",
+		"rom":   "ROM",
+		"ram":   "RAM",
+		"dyn":   "ALU",
+	}
+	for name, sub := range checks {
+		p, ok := byName[name]
+		if !ok {
+			t.Fatalf("part %s missing", name)
+		}
+		if !strings.Contains(p.Catalog, sub) && !strings.Contains(p.Detail, sub) {
+			t.Errorf("%s: catalog %q detail %q missing %q", name, p.Catalog, p.Detail, sub)
+		}
+	}
+	if byName["rom"].Kind != ast.KindMemory {
+		t.Error("rom kind wrong")
+	}
+}
+
+func TestStorageBits(t *testing.T) {
+	// An 8-cell memory whose data is 4 bits wide: 32 storage bits.
+	n := build(t, "#b\nm x .\nM m x.0.2 x.0.3 1 8\nA x 1 0 9\n.")
+	if s := n.Summarize(); s.Bits != 32 {
+		t.Errorf("bits = %d, want 32", s.Bits)
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	n := build(t, machines.Counter())
+	rep := n.String()
+	for _, want := range []string{"PARTS", "CATALOG", "WIRES", "SUMMARY", "count", "inc", "carry"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestStackMachineNetlistScale(t *testing.T) {
+	src, err := machines.SieveSpec(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := build(t, src)
+	s := n.Summarize()
+	if s.Memories != 7 {
+		t.Errorf("stack machine memories = %d, want 7 (state pc sp tos ir prog stack)", s.Memories)
+	}
+	if s.ALUs < 8 || s.Selectors < 8 {
+		t.Errorf("summary = %+v, expected a rich control structure", s)
+	}
+	if s.Wires < 40 {
+		t.Errorf("wires = %d, expected dozens", s.Wires)
+	}
+	// The stack RAM dominates storage.
+	if s.Bits < 4096 {
+		t.Errorf("bits = %d", s.Bits)
+	}
+}
+
+// TestTinyComputerAppendixF checks the exported parts list against the
+// component classes Appendix F's hand diagram uses for the same
+// machine: RAM, adder, comparators, multiplexors and flip-flop
+// registers.
+func TestTinyComputerAppendixF(t *testing.T) {
+	src, err := machines.TinyComputer(machines.TinyDivideImage(47, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := build(t, src)
+	rep := n.String()
+	for _, want := range []string{
+		"128 x 10 bit RAM",     // the 128-word program/data memory
+		"bit adder",            // incpc
+		"bit comparator",       // the opcode-decode equality checks
+		"2 to 1 multiplexor",   // pcstep / pcdata / alufn / maddr
+		"D flip flop register", // pc, ir, ac, borrow, state
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("Appendix F part class %q missing:\n%s", want, rep)
+		}
+	}
+	s := n.Summarize()
+	if s.Memories != 6 {
+		t.Errorf("memories = %d, want 6 (state pc ir ac borrow memory)", s.Memories)
+	}
+	// The RAM dominates storage: 128 cells x 10 bits.
+	if s.Bits < 128*10 {
+		t.Errorf("storage bits = %d", s.Bits)
+	}
+}
+
+func TestSelectorPortNames(t *testing.T) {
+	n := build(t, "#s\ns m .\nS s m.0 m 1\nM m 0 0 0 2\n.")
+	var sawSelect, sawIn0 bool
+	for _, w := range n.Wires {
+		if w.To == "s" && w.Port == "select" {
+			sawSelect = true
+		}
+		if w.To == "s" && w.Port == "in0" {
+			sawIn0 = true
+		}
+	}
+	if !sawSelect || !sawIn0 {
+		t.Errorf("selector ports missing: %v", n.Wires)
+	}
+}

@@ -1,0 +1,205 @@
+package ast
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rtl/numlit"
+)
+
+func TestKindStrings(t *testing.T) {
+	cases := []struct {
+		k      Kind
+		name   string
+		letter string
+	}{
+		{KindALU, "ALU", "A"},
+		{KindSelector, "selector", "S"},
+		{KindMemory, "memory", "M"},
+		{Kind(99), "unknown", "?"},
+	}
+	for _, c := range cases {
+		if c.k.String() != c.name || c.k.Letter() != c.letter {
+			t.Errorf("kind %d: %s/%s", c.k, c.k.String(), c.k.Letter())
+		}
+	}
+}
+
+func TestNumWidthAndMask(t *testing.T) {
+	n := &Num{Text: "12", Value: 12}
+	if n.Width() != WidthUnbounded || n.Masked() != 12 {
+		t.Errorf("plain num: width %d masked %d", n.Width(), n.Masked())
+	}
+	n = &Num{Text: "12", Value: 12, HasWidth: true, WidthLim: 3}
+	if n.Width() != 3 || n.Masked() != 4 { // 12 & 0b111 = 4
+		t.Errorf("12.3: width %d masked %d", n.Width(), n.Masked())
+	}
+	if n.String() != "12.3" {
+		t.Errorf("String = %q", n.String())
+	}
+}
+
+func TestBitsValue(t *testing.T) {
+	b := &Bits{Digits: "01101"}
+	if b.Width() != 5 || b.Value() != 13 {
+		t.Errorf("bits: width %d value %d", b.Width(), b.Value())
+	}
+	if b.String() != "#01101" {
+		t.Errorf("String = %q", b.String())
+	}
+}
+
+func TestRefModes(t *testing.T) {
+	whole := &Ref{Name: "x", Mode: RefWhole}
+	bit := &Ref{Name: "x", Mode: RefBit, From: 3}
+	rng := &Ref{Name: "x", Mode: RefRange, From: 2, To: 5}
+
+	if whole.Width() != WidthUnbounded || whole.LowBit() != 0 || whole.SelMask() != -1 {
+		t.Error("whole ref wrong")
+	}
+	if bit.Width() != 1 || bit.LowBit() != 3 || bit.SelMask() != 8 {
+		t.Error("bit ref wrong")
+	}
+	if rng.Width() != 4 || rng.LowBit() != 2 || rng.SelMask() != 0b111100 {
+		t.Error("range ref wrong")
+	}
+	if whole.String() != "x" || bit.String() != "x.3" || rng.String() != "x.2.5" {
+		t.Errorf("strings: %s %s %s", whole, bit, rng)
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e := &Expr{Parts: []Part{
+		&Ref{Name: "mem", Mode: RefRange, From: 3, To: 4},
+		&Bits{Digits: "01"},
+		&Ref{Name: "count", Mode: RefBit, From: 1},
+	}}
+	if e.String() != "mem.3.4,#01,count.1" {
+		t.Errorf("String = %q", e.String())
+	}
+	if e.Width() != 5 {
+		t.Errorf("Width = %d", e.Width())
+	}
+}
+
+func TestConstValueUnboundedRule(t *testing.T) {
+	// "1,2,3": plain numbers are unbounded; each sets the shift to 31.
+	e := &Expr{Parts: []Part{
+		&Num{Value: 1}, &Num{Value: 2}, &Num{Value: 3},
+	}}
+	v, ok := e.ConstValue()
+	want := int64(3) + 2<<31 + 1<<31
+	if !ok || v != want {
+		t.Errorf("ConstValue = %d,%v want %d", v, ok, want)
+	}
+	// A ref anywhere makes it non-constant.
+	e.Parts = append(e.Parts, &Ref{Name: "x"})
+	if _, ok := e.ConstValue(); ok {
+		t.Error("expr with ref reported constant")
+	}
+}
+
+func TestComponentInterfaces(t *testing.T) {
+	alu := &ALU{Name: "a", Funct: Expr{Parts: []Part{&Num{Value: 4, Text: "4"}}},
+		Left:  Expr{Parts: []Part{&Ref{Name: "m"}}},
+		Right: Expr{Parts: []Part{&Num{Value: 1, Text: "1"}}}}
+	if alu.CompName() != "a" || alu.CompKind() != KindALU || len(alu.Operands()) != 3 {
+		t.Error("ALU interface wrong")
+	}
+	if alu.String() != "A a 4 m 1" {
+		t.Errorf("ALU String = %q", alu.String())
+	}
+
+	sel := &Selector{Name: "s", Select: Expr{Parts: []Part{&Ref{Name: "m", Mode: RefBit}}},
+		Cases: []Expr{{Parts: []Part{&Num{Value: 1, Text: "1"}}}, {Parts: []Part{&Num{Value: 2, Text: "2"}}}}}
+	if sel.CompKind() != KindSelector || len(sel.Operands()) != 3 {
+		t.Error("Selector interface wrong")
+	}
+	if sel.String() != "S s m.0 1 2" {
+		t.Errorf("Selector String = %q", sel.String())
+	}
+
+	mem := &Memory{Name: "m", Size: 4, Init: []int64{1, 2, 3, 4},
+		Addr: Expr{Parts: []Part{&Num{Value: 0, Text: "0"}}},
+		Data: Expr{Parts: []Part{&Num{Value: 0, Text: "0"}}},
+		Opn:  Expr{Parts: []Part{&Num{Value: 0, Text: "0"}}}}
+	if mem.CompKind() != KindMemory || len(mem.Operands()) != 3 {
+		t.Error("Memory interface wrong")
+	}
+	if mem.String() != "M m 0 0 0 -4 1 2 3 4" {
+		t.Errorf("Memory String = %q", mem.String())
+	}
+	mem.Init = nil
+	if mem.String() != "M m 0 0 0 4" {
+		t.Errorf("Memory String = %q", mem.String())
+	}
+}
+
+func TestSpecHelpers(t *testing.T) {
+	spec := &Spec{
+		Comment: " test",
+		Names: []NameDecl{
+			{Name: "a", Trace: true},
+			{Name: "m"},
+		},
+		Components: []Component{
+			&ALU{Name: "a",
+				Funct: Expr{Parts: []Part{&Num{Value: 1, Text: "1"}}},
+				Left:  Expr{Parts: []Part{&Num{Value: 0, Text: "0"}}},
+				Right: Expr{Parts: []Part{&Ref{Name: "m"}}}},
+			&Memory{Name: "m", Size: 1,
+				Addr: Expr{Parts: []Part{&Num{Value: 0, Text: "0"}}},
+				Data: Expr{Parts: []Part{&Ref{Name: "a"}}},
+				Opn:  Expr{Parts: []Part{&Num{Value: 1, Text: "1"}}}},
+		},
+	}
+	if spec.Component("a") == nil || spec.Component("m") == nil || spec.Component("zz") != nil {
+		t.Error("Component lookup wrong")
+	}
+	if tr := spec.TracedNames(); len(tr) != 1 || tr[0] != "a" {
+		t.Errorf("TracedNames = %v", tr)
+	}
+	var visited int
+	spec.Walk(func(c Component, e *Expr) { visited++ })
+	if visited != 6 {
+		t.Errorf("Walk visited %d exprs, want 6", visited)
+	}
+	out := spec.String()
+	for _, want := range []string{"# test", "a* m .", "A a 1 0 m", "M m 0 a 1 1"} {
+		if !contains(out, want) {
+			t.Errorf("Spec.String missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// Property: SelMask of a range covers exactly From..To.
+func TestSelMaskProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		from, to := int(a%31), int(b%31)
+		if to < from {
+			from, to = to, from
+		}
+		r := &Ref{Mode: RefRange, From: from, To: to}
+		mask := r.SelMask()
+		for bit := 0; bit < 31; bit++ {
+			in := bit >= from && bit <= to
+			has := mask&numlit.Pow2(bit) != 0
+			if in != has {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

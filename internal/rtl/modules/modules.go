@@ -1,0 +1,390 @@
+// Package modules implements the high-level modularity construct the
+// thesis lists as future work (§5.4): "The behavior of an electronic
+// circuit is difficult to express in a modular fashion without
+// providing the actual description of the module and expanding that
+// description at compile time." This package does exactly that — a
+// source-to-source expansion pass that runs before the parser.
+//
+// Extended syntax (a strict superset of the base language):
+//
+//	D name param1 param2 ...   define a module with formal parameters
+//	  A sum 4 @param1 @param2  body components; @p substitutes an
+//	  M acc 0 sum 1 1          argument, local names are private
+//	E                          end of the module definition
+//
+//	U inst name arg1 arg2 ...  instantiate: the body is spliced in with
+//	                           every local name prefixed "inst" and
+//	                           every @param replaced by its argument
+//
+// Module definitions appear between the comment line and the name
+// list; instantiations appear among the components. Instantiated
+// component names (e.g. "instsum") are appended to the declared-name
+// list automatically unless already declared (declare "instsum*"
+// yourself to trace a module-internal signal). Bodies may instantiate
+// previously defined modules; recursion is rejected.
+package modules
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/rtl/numlit"
+	"repro/internal/rtl/source"
+	"repro/internal/rtl/token"
+)
+
+// maxDepth bounds nested instantiation, catching accidental cycles.
+const maxDepth = 16
+
+type tok struct {
+	text string
+	pos  source.Pos
+}
+
+type module struct {
+	name      string
+	params    []string
+	body      []tok
+	locals    map[string]bool
+	instances map[string]bool // nested instance names (prefix-match)
+}
+
+// Expand rewrites an extended specification into base ASIM II text.
+// Plain specifications pass through with only formatting changes.
+func Expand(file, src string) (string, error) {
+	e := &expander{file: file, defs: map[string]*module{}}
+	return e.run(src)
+}
+
+type expander struct {
+	file string
+	defs map[string]*module
+}
+
+func (e *expander) errf(pos source.Pos, format string, args ...interface{}) error {
+	return source.Errorf(e.file, pos, format, args...)
+}
+
+func (e *expander) run(src string) (string, error) {
+	s := token.NewScanner(e.file, src)
+	firstLine := s.ReadFirstLine()
+
+	var toks []tok
+	for {
+		t, err := s.NextRaw()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return "", err
+		}
+		toks = append(toks, tok{t.Text, t.Pos})
+	}
+
+	var out strings.Builder
+	out.WriteString(firstLine)
+	out.WriteString("\n")
+
+	i := 0
+	// Header: macros, cycle count and module definitions, in any order.
+	for i < len(toks) {
+		switch {
+		case strings.HasPrefix(toks[i].text, "~"):
+			if i+1 >= len(toks) {
+				return "", e.errf(toks[i].pos, "macro %s has no replacement text", toks[i].text)
+			}
+			fmt.Fprintf(&out, "%s %s\n", toks[i].text, toks[i+1].text)
+			i += 2
+		case toks[i].text == "=":
+			if i+1 >= len(toks) {
+				return "", e.errf(toks[i].pos, "'=' needs a cycle count")
+			}
+			fmt.Fprintf(&out, "= %s\n", toks[i+1].text)
+			i += 2
+		case toks[i].text == "D":
+			n, err := e.define(toks[i:])
+			if err != nil {
+				return "", err
+			}
+			i += n
+		default:
+			goto names
+		}
+	}
+names:
+	// Name list up to ".".
+	nameStart := i
+	declared := map[string]bool{}
+	for i < len(toks) && toks[i].text != "." {
+		declared[strings.TrimSuffix(toks[i].text, "*")] = true
+		i++
+	}
+	if i >= len(toks) {
+		return "", e.errf(source.Pos{}, "name list not terminated by '.'")
+	}
+	nameEnd := i // index of the "."
+	i++
+
+	// Components, expanding instantiations.
+	var comp strings.Builder
+	var added []string
+	for i < len(toks) && toks[i].text != "." {
+		t := toks[i]
+		if t.text == "U" {
+			expanded, names, n, err := e.instantiate(toks[i:], 0)
+			if err != nil {
+				return "", err
+			}
+			writeToks(&comp, expanded)
+			for _, name := range names {
+				if !declared[name] {
+					declared[name] = true
+					added = append(added, name)
+				}
+			}
+			i += n
+			continue
+		}
+		if t.text == "A" || t.text == "S" || t.text == "M" {
+			comp.WriteString("\n")
+		} else {
+			comp.WriteString(" ")
+		}
+		comp.WriteString(t.text)
+		i++
+	}
+	if i >= len(toks) {
+		return "", e.errf(source.Pos{}, "component list not terminated by '.'")
+	}
+
+	// Emit the (possibly extended) name list, components, terminator.
+	for j := nameStart; j < nameEnd; j++ {
+		out.WriteString(toks[j].text)
+		out.WriteString(" ")
+	}
+	for _, name := range added {
+		out.WriteString(name)
+		out.WriteString(" ")
+	}
+	out.WriteString(".")
+	out.WriteString(comp.String())
+	out.WriteString("\n.\n")
+	return out.String(), nil
+}
+
+func writeToks(b *strings.Builder, ts []tok) {
+	for _, t := range ts {
+		if t.text == "A" || t.text == "S" || t.text == "M" {
+			b.WriteString("\n")
+		} else {
+			b.WriteString(" ")
+		}
+		b.WriteString(t.text)
+	}
+}
+
+// define consumes "D name params... <body> E" and records the module.
+// It returns the number of tokens consumed.
+func (e *expander) define(ts []tok) (int, error) {
+	pos := ts[0].pos
+	if len(ts) < 2 {
+		return 0, e.errf(pos, "module definition needs a name")
+	}
+	m := &module{name: ts[1].text, locals: map[string]bool{}, instances: map[string]bool{}}
+	if err := token.CheckName(m.name); err != nil {
+		return 0, e.errf(ts[1].pos, "module name: %v", err)
+	}
+	if _, dup := e.defs[m.name]; dup {
+		return 0, e.errf(ts[1].pos, "module <%s> defined twice", m.name)
+	}
+	i := 2
+	// Parameters until the body begins (a component letter, an
+	// instantiation, a nested definition, or the terminator).
+	for i < len(ts) && !isBodyStart(ts[i].text) &&
+		ts[i].text != "E" && ts[i].text != "U" && ts[i].text != "D" && ts[i].text != "." {
+		p := ts[i].text
+		if err := token.CheckName(p); err != nil {
+			return 0, e.errf(ts[i].pos, "module parameter: %v", err)
+		}
+		for _, prev := range m.params {
+			if prev == p {
+				return 0, e.errf(ts[i].pos, "duplicate parameter %q", p)
+			}
+		}
+		m.params = append(m.params, p)
+		i++
+	}
+	// Body until the matching lone 'E'.
+	for i < len(ts) && ts[i].text != "E" {
+		if ts[i].text == "D" {
+			return 0, e.errf(ts[i].pos, "module definitions do not nest")
+		}
+		m.body = append(m.body, ts[i])
+		i++
+	}
+	if i >= len(ts) {
+		return 0, e.errf(pos, "module <%s> not terminated by 'E'", m.name)
+	}
+	if len(m.body) == 0 {
+		return 0, e.errf(pos, "module <%s> has an empty body", m.name)
+	}
+	// Local names: tokens after a component letter, plus instance
+	// names after 'U'. Instance names also match as prefixes, so that
+	// "lobval" refers to nested instance "lo"'s component "bval".
+	for j, t := range m.body {
+		if j+1 >= len(m.body) {
+			continue
+		}
+		if isBodyStart(t.text) {
+			m.locals[m.body[j+1].text] = true
+		}
+		if t.text == "U" {
+			m.locals[m.body[j+1].text] = true
+			m.instances[m.body[j+1].text] = true
+		}
+	}
+	for _, p := range m.params {
+		if m.locals[p] {
+			return 0, e.errf(pos, "module <%s>: %q is both a parameter and a local component", m.name, p)
+		}
+	}
+	e.defs[m.name] = m
+	return i + 1, nil
+}
+
+func isBodyStart(s string) bool { return s == "A" || s == "S" || s == "M" }
+
+// instantiate consumes "U inst module args..." from ts and returns the
+// expanded body tokens, the names of the components it creates, and
+// the number of tokens consumed.
+func (e *expander) instantiate(ts []tok, depth int) ([]tok, []string, int, error) {
+	pos := ts[0].pos
+	if depth >= maxDepth {
+		return nil, nil, 0, e.errf(pos, "module instantiation nested deeper than %d (recursive?)", maxDepth)
+	}
+	if len(ts) < 3 {
+		return nil, nil, 0, e.errf(pos, "'U' needs an instance name and a module name")
+	}
+	inst, modName := ts[1].text, ts[2].text
+	if err := token.CheckName(inst); err != nil {
+		return nil, nil, 0, e.errf(ts[1].pos, "instance name: %v", err)
+	}
+	m, ok := e.defs[modName]
+	if !ok {
+		return nil, nil, 0, e.errf(ts[2].pos, "module <%s> not defined", modName)
+	}
+	args := make(map[string]string, len(m.params))
+	n := 3
+	for _, p := range m.params {
+		if n >= len(ts) || isBodyStart(ts[n].text) || ts[n].text == "." || ts[n].text == "U" {
+			return nil, nil, 0, e.errf(pos, "instance <%s> of <%s>: %d arguments required, got %d",
+				inst, modName, len(m.params), n-3)
+		}
+		args[p] = ts[n].text
+		n++
+	}
+
+	var expanded []tok
+	var names []string
+	for j := 0; j < len(m.body); j++ {
+		t := m.body[j]
+		if t.text == "U" {
+			// Nested instantiation: substitute the instance line's
+			// tokens, then expand recursively.
+			line := []tok{t}
+			for k := j + 1; k < len(m.body) && !isBodyStart(m.body[k].text) && m.body[k].text != "U"; k++ {
+				sub, err := e.subst(m.body[k], args, m, inst)
+				if err != nil {
+					return nil, nil, 0, err
+				}
+				line = append(line, tok{sub, m.body[k].pos})
+			}
+			ex, nn, consumed, err := e.instantiate(line, depth+1)
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			expanded = append(expanded, ex...)
+			names = append(names, nn...)
+			j += consumed - 1
+			continue
+		}
+		sub, err := e.subst(t, args, m, inst)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		expanded = append(expanded, tok{sub, t.pos})
+		if isBodyStart(t.text) && j+1 < len(m.body) {
+			names = append(names, inst+m.body[j+1].text)
+		}
+	}
+	return expanded, names, n, nil
+}
+
+// subst rewrites one token: "@param" becomes its argument, local
+// component identifiers (including names reaching into nested
+// instances, e.g. "lobval" for instance "lo") gain the instance
+// prefix; everything else (numbers, hex/binary literals, macros,
+// global names) passes through.
+func (e *expander) subst(t tok, args map[string]string, m *module, prefix string) (string, error) {
+	s := t.text
+	var b strings.Builder
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == '@':
+			i++
+			start := i
+			for i < len(s) && (numlit.IsLetter(s[i]) || numlit.IsDecDigit(s[i])) {
+				i++
+			}
+			name := s[start:i]
+			arg, ok := args[name]
+			if !ok {
+				return "", e.errf(t.pos, "unknown module parameter @%s", name)
+			}
+			b.WriteString(arg)
+		case c == '~': // macro reference: copy the sigil and name verbatim
+			b.WriteByte(c)
+			i++
+			for i < len(s) && (numlit.IsLetter(s[i]) || numlit.IsDecDigit(s[i])) {
+				b.WriteByte(s[i])
+				i++
+			}
+		case c == '$': // hex literal: digits include letters A-F
+			b.WriteByte(c)
+			i++
+			for i < len(s) && numlit.IsHexDigit(s[i]) {
+				b.WriteByte(s[i])
+				i++
+			}
+		case numlit.IsLetter(c):
+			start := i
+			for i < len(s) && (numlit.IsLetter(s[i]) || numlit.IsDecDigit(s[i])) {
+				i++
+			}
+			name := s[start:i]
+			if m.locals[name] || hasInstancePrefix(name, m.instances) {
+				b.WriteString(prefix)
+			}
+			b.WriteString(name)
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return b.String(), nil
+}
+
+// hasInstancePrefix reports whether name begins with a nested
+// instance name (and is longer than it, i.e. reaches into the
+// instance).
+func hasInstancePrefix(name string, instances map[string]bool) bool {
+	for inst := range instances {
+		if len(name) > len(inst) && strings.HasPrefix(name, inst) {
+			return true
+		}
+	}
+	return false
+}

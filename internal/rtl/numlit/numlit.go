@@ -1,0 +1,202 @@
+// Package numlit parses and formats ASIM II numeric literals.
+//
+// A literal is a '+'-separated sum of terms, where each term is one of
+//
+//	123        decimal
+//	%1011      binary
+//	$3F        hexadecimal (upper-case digits, as in the thesis)
+//	^10        power of two (2^10)
+//
+// Examples from the thesis: "128+3+^8", "0+^5+^7+^8", "$3a" is NOT
+// accepted (hex digits are upper case in the original scanner), while
+// "$3A" is. The '#' bit-string form carries a width and is handled at
+// the expression level (package ast), not here.
+package numlit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MaxBits is the number of value bits ASIM II models. The thesis
+// implementation uses 31-bit values (mask = 2^31-1) manipulated with
+// 32-bit two's-complement integers.
+const MaxBits = 31
+
+// Mask is the all-ones 31-bit value used by the NOT function.
+const Mask = int64(1)<<MaxBits - 1
+
+// Pow2 returns 2^n for 0 <= n <= 62, matching the thesis' highbits
+// table (extended past bit 31 so Go code never overflows internally).
+func Pow2(n int) int64 {
+	if n < 0 || n > 62 {
+		return 0
+	}
+	return int64(1) << uint(n)
+}
+
+// IsDecDigit reports whether c is an ASCII decimal digit.
+func IsDecDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// IsHexDigit reports whether c is a digit the original scanner accepted
+// in hexadecimal literals: 0-9 or upper-case A-F.
+func IsHexDigit(c byte) bool { return IsDecDigit(c) || (c >= 'A' && c <= 'F') }
+
+// IsLetter reports whether c is an ASCII letter (either case), the set
+// the original used for identifiers.
+func IsLetter(c byte) bool { return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+
+// StartsNumber reports whether c can begin a numeric literal term.
+func StartsNumber(c byte) bool {
+	return IsDecDigit(c) || c == '%' || c == '$' || c == '^'
+}
+
+// IsNumeric reports whether s consists solely of characters that can
+// appear in a numeric literal (the original compiler's `numeric`
+// function, used to trigger constant-folding optimizations).
+func IsNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c == '+' || c == '%' || c == '$' || c == '^' || IsHexDigit(c)) {
+			return false
+		}
+	}
+	return true
+}
+
+// SyntaxError describes a malformed numeric literal. The message text
+// mirrors the original compiler's "Malformed number" diagnostic.
+type SyntaxError struct {
+	Literal string // the offending text
+	Offset  int    // byte offset of the first bad character
+	Reason  string // human-readable detail
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("malformed number %q at offset %d: %s", e.Literal, e.Offset, e.Reason)
+}
+
+// Parse evaluates a complete numeric literal (a '+'-separated sum of
+// terms). It is the Go counterpart of the thesis' str2num.
+func Parse(s string) (int64, error) {
+	if s == "" {
+		return 0, &SyntaxError{Literal: s, Offset: 0, Reason: "empty literal"}
+	}
+	var total int64
+	i := 0
+	for {
+		v, n, err := parseTerm(s, i)
+		if err != nil {
+			return 0, err
+		}
+		total += v
+		i += n
+		if i == len(s) {
+			return total, nil
+		}
+		if s[i] != '+' {
+			return 0, &SyntaxError{Literal: s, Offset: i, Reason: "expected '+' between terms"}
+		}
+		i++
+		if i == len(s) {
+			return 0, &SyntaxError{Literal: s, Offset: i, Reason: "trailing '+'"}
+		}
+	}
+}
+
+// parseTerm parses one term of a literal beginning at s[i], returning
+// its value and the number of bytes consumed.
+func parseTerm(s string, i int) (int64, int, error) {
+	start := i
+	switch c := s[i]; {
+	case IsDecDigit(c):
+		var v int64
+		for i < len(s) && IsDecDigit(s[i]) {
+			v = v*10 + int64(s[i]-'0')
+			if v > Mask*2 { // generous overflow guard
+				return 0, 0, &SyntaxError{Literal: s, Offset: start, Reason: "decimal literal too large"}
+			}
+			i++
+		}
+		return v, i - start, nil
+	case c == '%':
+		i++
+		if i >= len(s) || (s[i] != '0' && s[i] != '1') {
+			return 0, 0, &SyntaxError{Literal: s, Offset: i, Reason: "'%' must be followed by binary digits"}
+		}
+		var v int64
+		for i < len(s) && (s[i] == '0' || s[i] == '1') {
+			v = v*2 + int64(s[i]-'0')
+			if v > Mask*2 {
+				return 0, 0, &SyntaxError{Literal: s, Offset: start, Reason: "binary literal too large"}
+			}
+			i++
+		}
+		return v, i - start, nil
+	case c == '$':
+		i++
+		if i >= len(s) || !IsHexDigit(s[i]) {
+			return 0, 0, &SyntaxError{Literal: s, Offset: i, Reason: "'$' must be followed by hex digits (0-9, A-F)"}
+		}
+		var v int64
+		for i < len(s) && IsHexDigit(s[i]) {
+			v *= 16
+			if IsDecDigit(s[i]) {
+				v += int64(s[i] - '0')
+			} else {
+				v += int64(s[i]-'A') + 10
+			}
+			if v > Mask*2 {
+				return 0, 0, &SyntaxError{Literal: s, Offset: start, Reason: "hex literal too large"}
+			}
+			i++
+		}
+		return v, i - start, nil
+	case c == '^':
+		i++
+		if i >= len(s) || !IsDecDigit(s[i]) {
+			return 0, 0, &SyntaxError{Literal: s, Offset: i, Reason: "'^' must be followed by a decimal exponent"}
+		}
+		var k int64
+		for i < len(s) && IsDecDigit(s[i]) {
+			k = k*10 + int64(s[i]-'0')
+			if k > 62 {
+				return 0, 0, &SyntaxError{Literal: s, Offset: start, Reason: "power-of-two exponent too large"}
+			}
+			i++
+		}
+		return Pow2(int(k)), i - start, nil
+	default:
+		return 0, 0, &SyntaxError{Literal: s, Offset: i, Reason: "expected a digit, '%', '$' or '^'"}
+	}
+}
+
+// FormatDecimal renders v as a plain decimal literal.
+func FormatDecimal(v int64) string { return fmt.Sprintf("%d", v) }
+
+// FormatBinary renders v as a '%'-prefixed binary literal, zero-padded
+// to width digits when width > 0.
+func FormatBinary(v int64, width int) string {
+	if v < 0 {
+		v &= Mask
+	}
+	s := fmt.Sprintf("%b", v)
+	if width > len(s) {
+		s = strings.Repeat("0", width-len(s)) + s
+	}
+	return "%" + s
+}
+
+// FormatHex renders v as a '$'-prefixed upper-case hexadecimal literal.
+func FormatHex(v int64) string {
+	if v < 0 {
+		v &= Mask
+	}
+	return fmt.Sprintf("$%X", v)
+}
+
+// FormatPow2 renders 2^n as a '^'-prefixed literal.
+func FormatPow2(n int) string { return fmt.Sprintf("^%d", n) }

@@ -1,0 +1,279 @@
+package numlit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseDecimal(t *testing.T) {
+	cases := map[string]int64{
+		"0":     0,
+		"1":     1,
+		"42":    42,
+		"3048":  3048,
+		"4096":  4096,
+		"12345": 12345,
+	}
+	for in, want := range cases {
+		got, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		if got != want {
+			t.Errorf("Parse(%q) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestParseBinary(t *testing.T) {
+	cases := map[string]int64{
+		"%0":     0,
+		"%1":     1,
+		"%1011":  11,
+		"%0100":  4,
+		"%110":   6,
+		"%0001":  1,
+		"%1000":  8,
+		"%11111": 31,
+	}
+	for in, want := range cases {
+		got, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		if got != want {
+			t.Errorf("Parse(%q) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestParseHex(t *testing.T) {
+	cases := map[string]int64{
+		"$0":    0,
+		"$A":    10,
+		"$F":    15,
+		"$10":   16,
+		"$3A":   58, // the thesis' "ldc 58=$3a" (upper-cased)
+		"$5D":   93, // "ldc 93=$5d"
+		"$FF":   255,
+		"$1234": 0x1234,
+	}
+	for in, want := range cases {
+		got, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		if got != want {
+			t.Errorf("Parse(%q) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestParsePow2(t *testing.T) {
+	cases := map[string]int64{
+		"^0":  1,
+		"^1":  2,
+		"^5":  32,
+		"^8":  256,
+		"^10": 1024,
+		"^30": 1 << 30,
+	}
+	for in, want := range cases {
+		got, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		if got != want {
+			t.Errorf("Parse(%q) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+// TestParseSums exercises the '+'-separated sums the thesis' decode
+// ROMs rely on, e.g. "128+3+^8" from Appendix D.
+func TestParseSums(t *testing.T) {
+	cases := map[string]int64{
+		"128+3+^8":     128 + 3 + 256,
+		"0+^5+^7+^8":   32 + 128 + 256,
+		"16+^5+^7+^8":  16 + 32 + 128 + 256,
+		"17+^5+^7+^8":  17 + 32 + 128 + 256,
+		"20+^5+^7+^8":  20 + 32 + 128 + 256,
+		"23+^7+^8":     23 + 128 + 256,
+		"%1+2":         3,
+		"$A+%10+^2+1":  10 + 2 + 4 + 1,
+		"0+0":          0,
+		"2147483647+0": Mask,
+	}
+	for in, want := range cases {
+		got, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		if got != want {
+			t.Errorf("Parse(%q) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"+",
+		"1+",
+		"+1",
+		"%",
+		"%2",
+		"$",
+		"$G",
+		"$g", // lower-case hex is not in the original's hexnums set
+		"^",
+		"^A",
+		"^99", // exponent too large
+		"abc",
+		"1..2",
+		"1 2",
+		"0x10",
+		"12a",
+		"%1012",
+		"--",
+	}
+	for _, in := range bad {
+		if v, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) = %d, want error", in, v)
+		}
+	}
+	var se *SyntaxError
+	_, err := Parse("12#4")
+	if err == nil {
+		t.Fatal("Parse(12#4): want error")
+	}
+	var ok bool
+	if se, ok = err.(*SyntaxError); !ok {
+		t.Fatalf("Parse(12#4): error type %T, want *SyntaxError", err)
+	}
+	if se.Offset != 2 {
+		t.Errorf("SyntaxError.Offset = %d, want 2", se.Offset)
+	}
+	if se.Error() == "" {
+		t.Error("SyntaxError.Error() is empty")
+	}
+}
+
+func TestIsNumeric(t *testing.T) {
+	yes := []string{"0", "123", "%101", "$FF", "^8", "128+3+^8", "A", "F"}
+	no := []string{"", "left", "a1", "mem.3", "1,2", "#01", "1 2", "x"}
+	for _, s := range yes {
+		if !IsNumeric(s) {
+			t.Errorf("IsNumeric(%q) = false, want true", s)
+		}
+	}
+	for _, s := range no {
+		if IsNumeric(s) {
+			t.Errorf("IsNumeric(%q) = true, want false", s)
+		}
+	}
+}
+
+func TestPow2Bounds(t *testing.T) {
+	if Pow2(-1) != 0 || Pow2(63) != 0 {
+		t.Error("Pow2 out-of-range should return 0")
+	}
+	if Pow2(0) != 1 || Pow2(31) != 1<<31 {
+		t.Error("Pow2 boundary values wrong")
+	}
+}
+
+// Property: formatting then parsing is the identity for each format.
+func TestFormatParseRoundTrip(t *testing.T) {
+	f := func(raw int64) bool {
+		v := raw & Mask
+		for _, s := range []string{
+			FormatDecimal(v),
+			FormatBinary(v, 0),
+			FormatBinary(v, 32),
+			FormatHex(v),
+		} {
+			got, err := Parse(s)
+			if err != nil || got != v {
+				t.Logf("roundtrip %q: got %d err %v want %d", s, got, err, v)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the sum of randomly formatted terms parses to the sum of
+// the term values.
+func TestSumProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 300; iter++ {
+		n := 1 + rng.Intn(5)
+		var lit string
+		var want int64
+		for i := 0; i < n; i++ {
+			v := int64(rng.Intn(1 << 20))
+			var s string
+			switch rng.Intn(4) {
+			case 0:
+				s = FormatDecimal(v)
+			case 1:
+				s = FormatBinary(v, 0)
+			case 2:
+				s = FormatHex(v)
+			case 3:
+				k := rng.Intn(20)
+				v = Pow2(k)
+				s = FormatPow2(k)
+			}
+			if i > 0 {
+				lit += "+"
+			}
+			lit += s
+			want += v
+		}
+		got, err := Parse(lit)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", lit, err)
+		}
+		if got != want {
+			t.Fatalf("Parse(%q) = %d, want %d", lit, got, want)
+		}
+	}
+}
+
+func TestFormatBinaryPadding(t *testing.T) {
+	if got := FormatBinary(5, 8); got != "%00000101" {
+		t.Errorf("FormatBinary(5,8) = %q", got)
+	}
+	if got := FormatBinary(5, 0); got != "%101" {
+		t.Errorf("FormatBinary(5,0) = %q", got)
+	}
+	if got := FormatHex(255); got != "$FF" {
+		t.Errorf("FormatHex(255) = %q", got)
+	}
+}
+
+func TestCharClassHelpers(t *testing.T) {
+	if !IsLetter('a') || !IsLetter('Z') || IsLetter('0') || IsLetter('_') {
+		t.Error("IsLetter misclassifies")
+	}
+	if !IsDecDigit('0') || !IsDecDigit('9') || IsDecDigit('a') {
+		t.Error("IsDecDigit misclassifies")
+	}
+	if !IsHexDigit('A') || !IsHexDigit('F') || IsHexDigit('G') || IsHexDigit('a') {
+		t.Error("IsHexDigit misclassifies (hex digits are upper-case)")
+	}
+	for _, c := range []byte{'1', '%', '$', '^'} {
+		if !StartsNumber(c) {
+			t.Errorf("StartsNumber(%q) = false", c)
+		}
+	}
+	if StartsNumber('#') || StartsNumber('a') {
+		t.Error("StartsNumber misclassifies")
+	}
+}

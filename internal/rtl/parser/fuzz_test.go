@@ -1,0 +1,66 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/rtl/sem"
+)
+
+// FuzzParseString asserts the front end never panics: any input either
+// parses (and then analyzes without panicking) or returns an error.
+// Run with `go test -fuzz FuzzParseString ./internal/rtl/parser` for a
+// real fuzzing session; the seeds below run as ordinary tests.
+func FuzzParseString(f *testing.F) {
+	seeds := []string{
+		"# minimal\na .\nA a 1 0 1\n.",
+		"# counter\ncount* inc .\nA inc 4 count 1\nM count 0 inc 1 1\n.",
+		"#m\n~w 8\n= 10\nx .\nA x 1 rom.~w,#01 $3A+%101+^4\n.",
+		"#sel\ns m .\nS s m.0.1 1 2 3 4\nM m x.0.2,#1 0 -2 5 6\n.",
+		"#bad\n",
+		"",
+		"#\n.",
+		"# dots\na. .\n.",
+		"#c\na .\nA a 1 0 mem.3.4,#01,count.1\n.",
+		"#esc\n~a ~b\nx .\nA x ~a 0 0\n.",
+		"#deep\na .\nA a 1 0 1.2.3.4.5\n.",
+		"#neg\nm .\nM m 0 0 0 -1 99\n.",
+		"{comment}#c\na .\n.",
+		"#c\na .\nA a 1 0 x..y\n.",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		spec, err := ParseString("fuzz", src)
+		if err != nil {
+			return // rejected inputs are fine
+		}
+		// Accepted inputs must also survive analysis and printing.
+		_, _ = sem.Analyze(spec)
+		_ = spec.String()
+	})
+}
+
+// FuzzParseExpr asserts expression parsing never panics and that
+// accepted expressions round-trip through the printer.
+func FuzzParseExpr(f *testing.F) {
+	for _, s := range []string{
+		"a", "a.1", "a.1.2", "#01", "%101", "$FF", "^4", "12.4",
+		"mem.3.4,#01,count.1", "128+3+^8", "a,b", "1,2", "x.0.30",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := ParseExpr(src)
+		if err != nil {
+			return
+		}
+		again, err := ParseExpr(e.String())
+		if err != nil {
+			t.Fatalf("printed form %q of %q does not reparse: %v", e.String(), src, err)
+		}
+		if again.String() != e.String() {
+			t.Fatalf("print not stable: %q -> %q", e.String(), again.String())
+		}
+	})
+}

@@ -1,0 +1,67 @@
+// Package source provides source positions and positioned diagnostics
+// shared by the ASIM II scanner, parser and semantic analyzer.
+package source
+
+import "fmt"
+
+// Pos is a 1-based line/column position in a specification file.
+// The zero Pos means "unknown".
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// Known reports whether p carries real position information.
+func (p Pos) Known() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	if !p.Known() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
+// Error is a diagnostic tied to a position in a named input.
+type Error struct {
+	File string
+	Pos  Pos
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	name := e.File
+	if name == "" {
+		name = "<spec>"
+	}
+	if e.Pos.Known() {
+		return fmt.Sprintf("%s:%s: %s", name, e.Pos, e.Msg)
+	}
+	return fmt.Sprintf("%s: %s", name, e.Msg)
+}
+
+// Errorf constructs a positioned diagnostic.
+func Errorf(file string, pos Pos, format string, args ...interface{}) *Error {
+	return &Error{File: file, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ErrorList collects multiple diagnostics; it implements error.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	default:
+		return fmt.Sprintf("%s (and %d more errors)", l[0].Error(), len(l)-1)
+	}
+}
+
+// Err returns the list as an error, or nil when it is empty.
+func (l ErrorList) Err() error {
+	if len(l) == 0 {
+		return nil
+	}
+	return l
+}

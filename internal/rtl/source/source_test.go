@@ -1,0 +1,50 @@
+package source
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPos(t *testing.T) {
+	var zero Pos
+	if zero.Known() || zero.String() != "-" {
+		t.Error("zero Pos should be unknown")
+	}
+	p := Pos{Line: 3, Col: 7}
+	if !p.Known() || p.String() != "3:7" {
+		t.Errorf("Pos = %q", p.String())
+	}
+}
+
+func TestErrorFormatting(t *testing.T) {
+	e := Errorf("spec.sim", Pos{Line: 2, Col: 5}, "component <%s> not found", "x")
+	if e.Error() != "spec.sim:2:5: component <x> not found" {
+		t.Errorf("Error = %q", e.Error())
+	}
+	e = Errorf("", Pos{}, "oops")
+	if e.Error() != "<spec>: oops" {
+		t.Errorf("Error = %q", e.Error())
+	}
+	e = Errorf("f", Pos{}, "no position")
+	if e.Error() != "f: no position" {
+		t.Errorf("Error = %q", e.Error())
+	}
+}
+
+func TestErrorList(t *testing.T) {
+	var l ErrorList
+	if l.Err() != nil {
+		t.Error("empty list should be nil error")
+	}
+	if l.Error() != "no errors" {
+		t.Errorf("empty Error = %q", l.Error())
+	}
+	l = append(l, Errorf("f", Pos{Line: 1, Col: 1}, "first"))
+	if l.Err() == nil || !strings.Contains(l.Error(), "first") {
+		t.Error("single-element list wrong")
+	}
+	l = append(l, Errorf("f", Pos{Line: 2, Col: 1}, "second"))
+	if !strings.Contains(l.Error(), "1 more error") {
+		t.Errorf("multi Error = %q", l.Error())
+	}
+}

@@ -1,0 +1,261 @@
+// Package token implements the ASIM II lexical scanner.
+//
+// The language is whitespace-delimited: a token is any run of
+// non-whitespace characters, where the whitespace set is space, tab,
+// carriage return, newline and the comment braces '{' and '}'
+// (everything from '{' to the next '}' is skipped; comments do not
+// nest). Two extra rules come straight from the thesis' gettoken:
+//
+//   - A token of length > 1 ending in '.' is split: the body is
+//     returned first and a lone "." token follows (this is how the
+//     name list's "sub." terminator works).
+//   - A '~' inside a token references a macro: the name (letters and
+//     digits) is replaced by the macro's text immediately. Referencing
+//     an undefined macro is an error.
+package token
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/rtl/numlit"
+	"repro/internal/rtl/source"
+)
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Text string
+	Pos  source.Pos
+}
+
+// IsComponentLetter reports whether the token is a bare component
+// introducer (A, S or M), the condition the original parser used to
+// detect the start of the next component.
+func (t Token) IsComponentLetter() bool {
+	return t.Text == "A" || t.Text == "S" || t.Text == "M"
+}
+
+// IsEnd reports whether the token is the "." list/spec terminator.
+func (t Token) IsEnd() bool { return t.Text == "." }
+
+// Scanner reads tokens from a specification source.
+type Scanner struct {
+	file string
+	src  string
+	off  int
+	line int
+	col  int
+
+	macros map[string]string
+	order  []string // definition order, for introspection
+
+	pending *Token // second half of a split trailing-dot token
+}
+
+// NewScanner creates a scanner over src. file is used in diagnostics.
+func NewScanner(file, src string) *Scanner {
+	return &Scanner{
+		file:   file,
+		src:    src,
+		line:   1,
+		col:    1,
+		macros: make(map[string]string),
+	}
+}
+
+// File returns the diagnostic name of the input.
+func (s *Scanner) File() string { return s.file }
+
+// Pos returns the scanner's current position.
+func (s *Scanner) Pos() source.Pos { return source.Pos{Line: s.line, Col: s.col} }
+
+func (s *Scanner) errorf(pos source.Pos, format string, args ...interface{}) error {
+	return source.Errorf(s.file, pos, format, args...)
+}
+
+// DefineMacro records a macro definition. Later definitions shadow
+// earlier ones of the same name, as a linear search of the original's
+// most-recently-prepended table would.
+func (s *Scanner) DefineMacro(name, text string) {
+	if _, exists := s.macros[name]; !exists {
+		s.order = append(s.order, name)
+	}
+	s.macros[name] = text
+}
+
+// Macro returns a macro's replacement text.
+func (s *Scanner) Macro(name string) (string, bool) {
+	t, ok := s.macros[name]
+	return t, ok
+}
+
+// Macros returns the defined macro names in definition order.
+func (s *Scanner) Macros() []string { return append([]string(nil), s.order...) }
+
+func isWhitespace(c byte) bool {
+	switch c {
+	case ' ', '\t', '\r', '\n', '{', '}':
+		return true
+	}
+	return false
+}
+
+func (s *Scanner) advance() byte {
+	c := s.src[s.off]
+	s.off++
+	if c == '\n' {
+		s.line++
+		s.col = 1
+	} else {
+		s.col++
+	}
+	return c
+}
+
+// ReadFirstLine consumes and returns the remainder of the current line
+// verbatim (used for the mandatory '#' comment on line one).
+func (s *Scanner) ReadFirstLine() string {
+	start := s.off
+	for s.off < len(s.src) && s.src[s.off] != '\n' {
+		s.advance()
+	}
+	line := s.src[start:s.off]
+	if s.off < len(s.src) {
+		s.advance() // consume the newline
+	}
+	return strings.TrimSuffix(line, "\r")
+}
+
+// skipSpace skips whitespace and '{...}' comments.
+func (s *Scanner) skipSpace() error {
+	for s.off < len(s.src) {
+		c := s.src[s.off]
+		if c == '{' {
+			pos := s.Pos()
+			s.advance()
+			for s.off < len(s.src) && s.src[s.off] != '}' {
+				s.advance()
+			}
+			if s.off >= len(s.src) {
+				return s.errorf(pos, "unterminated comment")
+			}
+			s.advance() // '}'
+			continue
+		}
+		if c == '}' {
+			// A stray '}' is treated as whitespace, as in the original
+			// whitespace set.
+			s.advance()
+			continue
+		}
+		if !isWhitespace(c) {
+			return nil
+		}
+		s.advance()
+	}
+	return nil
+}
+
+// Next returns the next token with macros expanded, or io.EOF.
+func (s *Scanner) Next() (Token, error) { return s.next(true) }
+
+// NextRaw returns the next token without macro expansion; the parser
+// uses it to read macro definition names.
+func (s *Scanner) NextRaw() (Token, error) { return s.next(false) }
+
+func (s *Scanner) next(expand bool) (Token, error) {
+	if s.pending != nil {
+		t := *s.pending
+		s.pending = nil
+		return t, nil
+	}
+	if err := s.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	if s.off >= len(s.src) {
+		return Token{}, io.EOF
+	}
+	pos := s.Pos()
+	var b strings.Builder
+	for s.off < len(s.src) && !isWhitespace(s.src[s.off]) {
+		if expand && s.src[s.off] == '~' {
+			mpos := s.Pos()
+			s.advance() // '~'
+			var name strings.Builder
+			for s.off < len(s.src) {
+				c := s.src[s.off]
+				if !numlit.IsLetter(c) && !numlit.IsDecDigit(c) {
+					break
+				}
+				name.WriteByte(s.advance())
+			}
+			text, ok := s.macros[name.String()]
+			if !ok {
+				return Token{}, s.errorf(mpos, "macro <%s> not defined", name.String())
+			}
+			b.WriteString(text)
+			continue
+		}
+		b.WriteByte(s.advance())
+	}
+	text := b.String()
+	if text == "" {
+		// Can happen if a macro expanded to the empty string at the
+		// start of a token and the next char is whitespace; retry.
+		return s.next(expand)
+	}
+	// Split a trailing '.' off multi-character tokens.
+	if len(text) > 1 && strings.HasSuffix(text, ".") && !strings.HasSuffix(text, "..") {
+		s.pending = &Token{Text: ".", Pos: pos}
+		text = text[:len(text)-1]
+	}
+	return Token{Text: text, Pos: pos}, nil
+}
+
+// ExpandText expands every '~name' macro reference inside s, returning
+// the resulting text. It is used for tokens that were read raw (while
+// looking for macro definitions) but turned out to be ordinary tokens.
+func (s *Scanner) ExpandText(text string, pos source.Pos) (string, error) {
+	if !strings.Contains(text, "~") {
+		return text, nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(text); {
+		if text[i] != '~' {
+			b.WriteByte(text[i])
+			i++
+			continue
+		}
+		i++ // '~'
+		j := i
+		for j < len(text) && (numlit.IsLetter(text[j]) || numlit.IsDecDigit(text[j])) {
+			j++
+		}
+		name := text[i:j]
+		repl, ok := s.macros[name]
+		if !ok {
+			return "", s.errorf(pos, "macro <%s> not defined", name)
+		}
+		b.WriteString(repl)
+		i = j
+	}
+	return b.String(), nil
+}
+
+// CheckName validates a component or macro name: a letter followed by
+// letters and digits (the original checkname).
+func CheckName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty name")
+	}
+	if !numlit.IsLetter(name[0]) {
+		return fmt.Errorf("component name %q invalid, use letters and numbers only (must start with a letter)", name)
+	}
+	for i := 1; i < len(name); i++ {
+		if !numlit.IsLetter(name[i]) && !numlit.IsDecDigit(name[i]) {
+			return fmt.Errorf("component name %q invalid, use letters and numbers only", name)
+		}
+	}
+	return nil
+}

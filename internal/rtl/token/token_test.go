@@ -1,0 +1,208 @@
+package token
+
+import (
+	"io"
+	"testing"
+)
+
+func collect(t *testing.T, s *Scanner) []string {
+	t.Helper()
+	var out []string
+	for {
+		tok, err := s.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out = append(out, tok.Text)
+	}
+}
+
+func eq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBasicTokens(t *testing.T) {
+	s := NewScanner("t", "A alu compute left 3048\nS sel idx a b")
+	got := collect(t, s)
+	want := []string{"A", "alu", "compute", "left", "3048", "S", "sel", "idx", "a", "b"}
+	if !eq(got, want) {
+		t.Errorf("tokens = %q, want %q", got, want)
+	}
+}
+
+func TestCommentsAreWhitespace(t *testing.T) {
+	s := NewScanner("t", "a{ this is a comment }b {x} c{}d")
+	got := collect(t, s)
+	// '{' terminates the token in progress, exactly as the original's
+	// whitespace set containing '{' does.
+	want := []string{"a", "b", "c", "d"}
+	if !eq(got, want) {
+		t.Errorf("tokens = %q, want %q", got, want)
+	}
+}
+
+func TestUnterminatedComment(t *testing.T) {
+	s := NewScanner("t", "a { never ends")
+	if _, err := s.Next(); err != nil {
+		t.Fatalf("first token: %v", err)
+	}
+	if _, err := s.Next(); err == nil {
+		t.Fatal("want unterminated comment error")
+	}
+}
+
+func TestTrailingDotSplit(t *testing.T) {
+	s := NewScanner("t", "alpha beta sub. A x")
+	got := collect(t, s)
+	want := []string{"alpha", "beta", "sub", ".", "A", "x"}
+	if !eq(got, want) {
+		t.Errorf("tokens = %q, want %q", got, want)
+	}
+}
+
+func TestLoneDot(t *testing.T) {
+	s := NewScanner("t", "a .\nb")
+	got := collect(t, s)
+	want := []string{"a", ".", "b"}
+	if !eq(got, want) {
+		t.Errorf("tokens = %q, want %q", got, want)
+	}
+}
+
+func TestSubfieldTokenNotSplit(t *testing.T) {
+	s := NewScanner("t", "state.0.5 mem.3.4,#01,count.1")
+	got := collect(t, s)
+	want := []string{"state.0.5", "mem.3.4,#01,count.1"}
+	if !eq(got, want) {
+		t.Errorf("tokens = %q, want %q", got, want)
+	}
+}
+
+func TestMacroExpansion(t *testing.T) {
+	s := NewScanner("t", "rom.~w,~pack state.~st")
+	s.DefineMacro("w", "8")
+	s.DefineMacro("pack", "#0000")
+	s.DefineMacro("st", "4")
+	got := collect(t, s)
+	want := []string{"rom.8,#0000", "state.4"}
+	if !eq(got, want) {
+		t.Errorf("tokens = %q, want %q", got, want)
+	}
+}
+
+func TestMacroDelimitedByNonAlnum(t *testing.T) {
+	s := NewScanner("t", "addr.~n,rom.~w")
+	s.DefineMacro("n", "12")
+	s.DefineMacro("w", "8")
+	got := collect(t, s)
+	want := []string{"addr.12,rom.8"}
+	if !eq(got, want) {
+		t.Errorf("tokens = %q, want %q", got, want)
+	}
+}
+
+func TestUndefinedMacro(t *testing.T) {
+	s := NewScanner("t", "rom.~nope")
+	if _, err := s.Next(); err == nil {
+		t.Fatal("want undefined-macro error")
+	}
+}
+
+func TestNextRawDoesNotExpand(t *testing.T) {
+	s := NewScanner("t", "~name body")
+	tok, err := s.NextRaw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.Text != "~name" {
+		t.Errorf("raw token = %q, want ~name", tok.Text)
+	}
+}
+
+func TestMacroShadowing(t *testing.T) {
+	s := NewScanner("t", "~x")
+	s.DefineMacro("x", "1")
+	s.DefineMacro("x", "2")
+	tok, err := s.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.Text != "2" {
+		t.Errorf("shadowed macro = %q, want 2", tok.Text)
+	}
+	if got := s.Macros(); len(got) != 1 || got[0] != "x" {
+		t.Errorf("Macros() = %v", got)
+	}
+}
+
+func TestReadFirstLine(t *testing.T) {
+	s := NewScanner("t", "# hello spec\r\nnext tok")
+	if line := s.ReadFirstLine(); line != "# hello spec" {
+		t.Errorf("first line = %q", line)
+	}
+	got := collect(t, s)
+	if !eq(got, []string{"next", "tok"}) {
+		t.Errorf("tokens after first line = %q", got)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	s := NewScanner("t", "a\n  b\n\tc")
+	t1, _ := s.Next()
+	t2, _ := s.Next()
+	t3, _ := s.Next()
+	if t1.Pos.Line != 1 || t1.Pos.Col != 1 {
+		t.Errorf("t1 pos = %v", t1.Pos)
+	}
+	if t2.Pos.Line != 2 || t2.Pos.Col != 3 {
+		t.Errorf("t2 pos = %v", t2.Pos)
+	}
+	if t3.Pos.Line != 3 || t3.Pos.Col != 2 {
+		t.Errorf("t3 pos = %v", t3.Pos)
+	}
+}
+
+func TestEOF(t *testing.T) {
+	s := NewScanner("t", "  { only comment } ")
+	if _, err := s.Next(); err != io.EOF {
+		t.Errorf("want io.EOF, got %v", err)
+	}
+}
+
+func TestCheckName(t *testing.T) {
+	good := []string{"a", "alu", "state", "b2", "sel1", "Newst9", "A"}
+	for _, n := range good {
+		if err := CheckName(n); err != nil {
+			t.Errorf("CheckName(%q) = %v, want nil", n, err)
+		}
+	}
+	bad := []string{"", "1a", "_x", "a.b", "a-b", "a b", "~m", "a*"}
+	for _, n := range bad {
+		if err := CheckName(n); err == nil {
+			t.Errorf("CheckName(%q) = nil, want error", n)
+		}
+	}
+}
+
+func TestTokenPredicates(t *testing.T) {
+	if !(Token{Text: "A"}).IsComponentLetter() || !(Token{Text: "M"}).IsComponentLetter() {
+		t.Error("IsComponentLetter false negative")
+	}
+	if (Token{Text: "AA"}).IsComponentLetter() || (Token{Text: "x"}).IsComponentLetter() {
+		t.Error("IsComponentLetter false positive")
+	}
+	if !(Token{Text: "."}).IsEnd() || (Token{Text: ".."}).IsEnd() {
+		t.Error("IsEnd misclassifies")
+	}
+}

@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Memory-mapped I/O conventions (Appendix A): address 0 transfers
+// character data, address 1 integers, and any other address transfers
+// integers tagged with the address.
+
+type inputDevice struct {
+	r *bufio.Reader
+}
+
+func newInputDevice(r io.Reader) *inputDevice {
+	return &inputDevice{r: bufio.NewReader(r)}
+}
+
+// read performs one sinput operation.
+func (d *inputDevice) read(addr int64) (int64, error) {
+	if addr == 0 {
+		b, err := d.r.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		return int64(b), nil
+	}
+	var v int64
+	if _, err := fmt.Fscan(d.r, &v); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// writeOutput performs one soutput operation.
+func writeOutput(w io.Writer, addr, data int64) {
+	switch addr {
+	case 0:
+		fmt.Fprintf(w, "%c\n", rune(data&0x10FFFF))
+	case 1:
+		fmt.Fprintf(w, "%d\n", data)
+	default:
+		fmt.Fprintf(w, "Output to address %d: %d\n", addr, data)
+	}
+}

@@ -1,0 +1,345 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/rtl/ast"
+	"repro/internal/rtl/sem"
+)
+
+// RuntimeError is a simulation-time failure: a selector index beyond
+// its value list, a memory address outside the declared range, or an
+// input operation with no input available. These are the conditions
+// Appendix A documents as runtime errors.
+type RuntimeError struct {
+	Component string
+	Cycle     int64
+	Msg       string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("cycle %d: component <%s>: %s", e.Cycle, e.Component, e.Msg)
+}
+
+// Fail panics with a RuntimeError; Machine.Run and Machine.Step
+// recover it into an ordinary error return. Backends call Fail so
+// their per-expression code stays free of error plumbing on the hot
+// path.
+func Fail(component string, cycle int64, format string, args ...interface{}) {
+	panic(&RuntimeError{Component: component, Cycle: cycle, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Evaluator is a compiled specification: the product of one of the
+// backends (interp, compile, bytecode). Implementations read and write
+// the value vector indexed by sem.Info.Slot and report runtime errors
+// by panicking with *RuntimeError (use Fail).
+type Evaluator interface {
+	// BackendName identifies the backend for reports and benchmarks.
+	BackendName() string
+
+	// Comb evaluates every combinational component in dependency
+	// order, writing each output into vals at its slot. Memory slots
+	// hold the previous cycle's output registers and must not be
+	// written.
+	Comb(vals []int64, cycle int64)
+
+	// MemInputs latches every memory's address, data and operation
+	// expressions into the parallel slices, indexed by memory ordinal
+	// (the order of sem.Info.Mems). It must not modify vals.
+	MemInputs(vals []int64, addr, data, opn []int64, cycle int64)
+}
+
+// Options configures a Machine.
+type Options struct {
+	// Trace receives the per-cycle trace lines for '*'-marked signals
+	// and the read/write trace messages. nil disables tracing.
+	Trace io.Writer
+
+	// Input supplies memory-mapped input operations. nil makes any
+	// input operation a runtime error.
+	Input io.Reader
+
+	// Output receives memory-mapped output. nil discards it.
+	Output io.Writer
+}
+
+// Machine simulates one analyzed specification. It owns all state; the
+// Evaluator supplies the per-cycle expression evaluation strategy.
+type Machine struct {
+	info *sem.Info
+	eval Evaluator
+	opts Options
+
+	vals   []int64   // per-slot outputs: comb current, memory output registers
+	arrays [][]int64 // per-memory backing store, by memory ordinal
+	addr   []int64   // latched memory addresses
+	data   []int64   // latched memory data
+	opn    []int64   // latched memory operations
+
+	memSlot  []int // slot of each memory, by ordinal
+	traceIdx []int // slots of traced components, in name-list order
+
+	cycle int64
+	stats Stats
+	inDev *inputDevice
+	out   io.Writer
+
+	observers  []Observer
+	committers []Observer
+	tracer     *tracer
+}
+
+// Observer is called at the trace point of every cycle (after
+// combinational evaluation and input latching, before memory commit):
+// traced combinational values are current, memory values are the
+// output registers the cycle computed with. Observers may modify
+// machine state (fault injectors do).
+type Observer func(m *Machine)
+
+// New builds a Machine for an analyzed spec with a compiled evaluator.
+func New(info *sem.Info, eval Evaluator, opts Options) *Machine {
+	m := &Machine{info: info, eval: eval, opts: opts}
+	nm := len(info.Mems)
+	m.vals = make([]int64, len(info.Order))
+	m.arrays = make([][]int64, nm)
+	m.addr = make([]int64, nm)
+	m.data = make([]int64, nm)
+	m.opn = make([]int64, nm)
+	m.memSlot = make([]int, nm)
+	for i, mem := range info.Mems {
+		m.arrays[i] = make([]int64, mem.Size)
+		m.memSlot[i] = info.Slot[mem.Name]
+	}
+	for _, name := range info.Traced {
+		if slot, ok := info.Slot[name]; ok {
+			m.traceIdx = append(m.traceIdx, slot)
+		}
+	}
+	if opts.Input != nil {
+		m.inDev = newInputDevice(opts.Input)
+	}
+	m.out = opts.Output
+	if m.out == nil {
+		m.out = io.Discard
+	}
+	if opts.Trace != nil {
+		m.tracer = newTracer(opts.Trace, info, m.traceIdx)
+	}
+	m.Reset()
+	return m
+}
+
+// Info returns the analyzed specification the machine runs.
+func (m *Machine) Info() *sem.Info { return m.info }
+
+// Backend returns the evaluator's name.
+func (m *Machine) Backend() string { return m.eval.BackendName() }
+
+// Cycle returns the number of cycles executed since the last Reset.
+func (m *Machine) Cycle() int64 { return m.cycle }
+
+// Stats returns the accumulated execution statistics.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// Observe registers an observer called at each cycle's trace point.
+func (m *Machine) Observe(o Observer) { m.observers = append(m.observers, o) }
+
+// AfterCommit registers an observer called at the end of every cycle,
+// after all memory operations have committed and the cycle counter has
+// advanced. Overrides applied to memory outputs here are what every
+// consumer sees next cycle — the injection point fault campaigns use
+// to model stuck-at and transient register faults.
+func (m *Machine) AfterCommit(o Observer) { m.committers = append(m.committers, o) }
+
+// Reset restores power-on state: every component output 0, memory
+// arrays zeroed except declared initial values, cycle 0. Statistics
+// are cleared.
+func (m *Machine) Reset() {
+	for i := range m.vals {
+		m.vals[i] = 0
+	}
+	for i, mem := range m.info.Mems {
+		arr := m.arrays[i]
+		for j := range arr {
+			arr[j] = 0
+		}
+		copy(arr, mem.Init)
+	}
+	m.cycle = 0
+	m.stats = Stats{MemOps: make([]MemOpStats, len(m.info.Mems))}
+}
+
+// Value returns a component's current output (for memories, the output
+// register). It panics if the name is unknown; use Info().Slot to
+// check first.
+func (m *Machine) Value(name string) int64 {
+	slot, ok := m.info.Slot[name]
+	if !ok {
+		panic(fmt.Sprintf("sim: unknown component %q", name))
+	}
+	return m.vals[slot]
+}
+
+// SetValue overrides a component's current output. Fault injection and
+// tests use it; overriding a combinational output lasts only until the
+// next cycle recomputes it.
+func (m *Machine) SetValue(name string, v int64) {
+	slot, ok := m.info.Slot[name]
+	if !ok {
+		panic(fmt.Sprintf("sim: unknown component %q", name))
+	}
+	m.vals[slot] = v
+}
+
+// MemCell returns one cell of a memory's backing array.
+func (m *Machine) MemCell(name string, index int) int64 {
+	return m.memArray(name)[index]
+}
+
+// SetMemCell stores into a memory's backing array.
+func (m *Machine) SetMemCell(name string, index int, v int64) {
+	m.memArray(name)[index] = v
+}
+
+// MemLen returns the number of cells in a memory.
+func (m *Machine) MemLen(name string) int { return len(m.memArray(name)) }
+
+func (m *Machine) memArray(name string) []int64 {
+	for i, mem := range m.info.Mems {
+		if mem.Name == name {
+			return m.arrays[i]
+		}
+	}
+	panic(fmt.Sprintf("sim: unknown memory %q", name))
+}
+
+// Snapshot captures every component output and memory array, keyed by
+// component name (memory arrays under "name[]"). The cross-backend
+// equivalence tests diff snapshots.
+func (m *Machine) Snapshot() map[string][]int64 {
+	snap := make(map[string][]int64, len(m.info.Order)+len(m.info.Mems))
+	for name, slot := range m.info.Slot {
+		snap[name] = []int64{m.vals[slot]}
+	}
+	for i, mem := range m.info.Mems {
+		snap[mem.Name+"[]"] = append([]int64(nil), m.arrays[i]...)
+	}
+	return snap
+}
+
+// Run executes n cycles, or stops early with the error that occurred.
+func (m *Machine) Run(n int64) (err error) {
+	defer recoverRuntime(&err)
+	for i := int64(0); i < n; i++ {
+		m.step()
+	}
+	return nil
+}
+
+// Step executes exactly one cycle.
+func (m *Machine) Step() (err error) {
+	defer recoverRuntime(&err)
+	m.step()
+	return nil
+}
+
+// RunUntil steps the machine until pred returns true (checked after
+// each cycle) or max cycles elapse. It returns the number of cycles
+// executed in this call and whether pred was satisfied.
+func (m *Machine) RunUntil(pred func(*Machine) bool, max int64) (n int64, ok bool, err error) {
+	defer recoverRuntime(&err)
+	for n = 0; n < max; {
+		m.step()
+		n++
+		if pred(m) {
+			return n, true, nil
+		}
+	}
+	return n, false, nil
+}
+
+func recoverRuntime(err *error) {
+	if r := recover(); r != nil {
+		if re, ok := r.(*RuntimeError); ok {
+			*err = re
+			return
+		}
+		panic(r)
+	}
+}
+
+// step runs one cycle:
+//  1. evaluate combinational components in dependency order;
+//  2. latch every memory's addr/data/opn from pre-commit state;
+//  3. trace point: per-cycle trace line and observers;
+//  4. commit memory operations (and their read/write traces).
+//
+// Unlike the original generated code, which updated memory output
+// registers one after another, step latches all inputs before any
+// commit, so results never depend on memory declaration order.
+func (m *Machine) step() {
+	m.eval.Comb(m.vals, m.cycle)
+	m.eval.MemInputs(m.vals, m.addr, m.data, m.opn, m.cycle)
+
+	if m.tracer != nil {
+		m.tracer.cycleLine(m.cycle, m.vals)
+	}
+	for _, o := range m.observers {
+		o(m)
+	}
+
+	for i, mem := range m.info.Mems {
+		a, d, op := m.addr[i], m.data[i], m.opn[i]
+		arr := m.arrays[i]
+		var temp int64
+		switch op & 3 {
+		case OpRead:
+			if a < 0 || a >= int64(len(arr)) {
+				Fail(mem.Name, m.cycle, "read address %d outside 0..%d", a, len(arr)-1)
+			}
+			temp = arr[a]
+			m.stats.MemOps[i].Reads++
+		case OpWrite:
+			if a < 0 || a >= int64(len(arr)) {
+				Fail(mem.Name, m.cycle, "write address %d outside 0..%d", a, len(arr)-1)
+			}
+			temp = d
+			arr[a] = d
+			m.stats.MemOps[i].Writes++
+		case OpInput:
+			if m.inDev == nil {
+				Fail(mem.Name, m.cycle, "input operation with no input attached")
+			}
+			v, err := m.inDev.read(a)
+			if err != nil {
+				Fail(mem.Name, m.cycle, "input at address %d: %v", a, err)
+			}
+			temp = v
+			m.stats.MemOps[i].Inputs++
+		case OpOutput:
+			temp = d
+			writeOutput(m.out, a, d)
+			m.stats.MemOps[i].Outputs++
+		}
+		if m.tracer != nil {
+			if TraceWrite(op) {
+				m.tracer.memTrace("Write to", mem.Name, a, temp)
+			}
+			if TraceRead(op) {
+				m.tracer.memTrace("Read from", mem.Name, a, temp)
+			}
+		}
+		m.vals[m.memSlot[i]] = temp
+	}
+
+	m.cycle++
+	m.stats.Cycles++
+	for _, o := range m.committers {
+		o(m)
+	}
+}
+
+// Mems exposes the analyzed memory list (ordinal order), for observers
+// that need the memory layout (the VCD dumper does).
+func (m *Machine) Mems() []*ast.Memory { return m.info.Mems }

@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/rtl/sem"
+)
+
+// tracer renders the per-cycle trace the generated Pascal printed: a
+// "Cycle   N" line listing every '*'-marked signal, plus "Write to" /
+// "Read from" lines for memory operations whose trace bits are set.
+type tracer struct {
+	w     *bufio.Writer
+	names []string // traced names, in name-list order
+	slots []int
+}
+
+func newTracer(w io.Writer, info *sem.Info, slots []int) *tracer {
+	t := &tracer{w: bufio.NewWriter(w), slots: slots}
+	for _, name := range info.Traced {
+		if _, ok := info.Slot[name]; ok {
+			t.names = append(t.names, name)
+		}
+	}
+	return t
+}
+
+func (t *tracer) cycleLine(cycle int64, vals []int64) {
+	fmt.Fprintf(t.w, "Cycle %3d", cycle)
+	for i, slot := range t.slots {
+		fmt.Fprintf(t.w, " %s= %d", t.names[i], vals[slot])
+	}
+	t.w.WriteByte('\n')
+	t.w.Flush()
+}
+
+func (t *tracer) memTrace(what, name string, addr, value int64) {
+	fmt.Fprintf(t.w, " %s %s at %d: %d\n", what, name, addr, value)
+	t.w.Flush()
+}

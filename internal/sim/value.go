@@ -1,0 +1,162 @@
+// Package sim implements the ASIM II execution model shared by every
+// backend: 32-bit two's-complement values, the 14 dologic ALU
+// functions, two-phase memory commit with one-cycle output latency,
+// memory-mapped I/O, per-cycle tracing and statistics.
+package sim
+
+import (
+	"repro/internal/rtl/ast"
+	"repro/internal/rtl/numlit"
+)
+
+// Mask is the 31-bit all-ones value used by the NOT function, matching
+// the generated Pascal's "const mask = 2147483647".
+const Mask = numlit.Mask
+
+// Land is the thesis' bitwise-AND: both operands are truncated to
+// 32-bit two's complement (the Pascal implementation overlaid a set of
+// bits 0..31 on an integer), ANDed, and the 32-bit result is
+// sign-extended back.
+func Land(a, b int64) int64 {
+	return int64(int32(uint32(a) & uint32(b)))
+}
+
+// ALU function codes (Appendix A).
+const (
+	FnZero   = 0  // 0
+	FnRight  = 1  // right
+	FnLeft   = 2  // left
+	FnNot    = 3  // NOT(left) = mask - left
+	FnAdd    = 4  // left + right
+	FnSub    = 5  // left - right
+	FnShl    = 6  // left * 2^right (masked shift)
+	FnMul    = 7  // left * right
+	FnAnd    = 8  // AND(left, right)
+	FnOr     = 9  // OR(left, right)
+	FnXor    = 10 // XOR(left, right)
+	FnUnused = 11 // unused (0)
+	FnEq     = 12 // left = right
+	FnLt     = 13 // left < right
+)
+
+// NumFunctions is the number of defined ALU function codes.
+const NumFunctions = 14
+
+// DoLogic computes one ALU function, exactly as the generated Pascal's
+// dologic does. Function codes outside 0..13 return 0 (the generated
+// case statement initialises value to 0 and permissive Pascal
+// compilers fall through unknown selectors).
+func DoLogic(funct, left, right int64) int64 {
+	switch funct {
+	case FnZero:
+		return 0
+	case FnRight:
+		return right
+	case FnLeft:
+		return left
+	case FnNot:
+		return Mask - left
+	case FnAdd:
+		return left + right
+	case FnSub:
+		return left - right
+	case FnShl:
+		// The original loop: note that a shift count of zero leaves
+		// the initial value 0, not left — a quirk we preserve.
+		var value int64
+		for right > 0 && left != 0 {
+			left = Land(left+left, Mask)
+			value = left
+			right--
+		}
+		return value
+	case FnMul:
+		return left * right
+	case FnAnd:
+		return Land(left, right)
+	case FnOr:
+		return left + right - Land(left, right)
+	case FnXor:
+		return left + right - Land(left, right)*2
+	case FnEq:
+		if left == right {
+			return 1
+		}
+		return 0
+	case FnLt:
+		if left < right {
+			return 1
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// FunctionName returns a mnemonic for an ALU function code, for traces
+// and the netlist exporter.
+func FunctionName(funct int64) string {
+	switch funct {
+	case FnZero:
+		return "zero"
+	case FnRight:
+		return "right"
+	case FnLeft:
+		return "left"
+	case FnNot:
+		return "not"
+	case FnAdd:
+		return "add"
+	case FnSub:
+		return "sub"
+	case FnShl:
+		return "shl"
+	case FnMul:
+		return "mul"
+	case FnAnd:
+		return "and"
+	case FnOr:
+		return "or"
+	case FnXor:
+		return "xor"
+	case FnUnused:
+		return "unused"
+	case FnEq:
+		return "eq"
+	case FnLt:
+		return "lt"
+	default:
+		return "undef"
+	}
+}
+
+// ExtractRef applies a reference's subfield selection to a component
+// value: the selected bits are masked out and shifted down so the low
+// bit of the field lands at bit 0. Whole references pass the value
+// through unchanged (including sign).
+func ExtractRef(v int64, r *ast.Ref) int64 {
+	if r.Mode == ast.RefWhole {
+		return v
+	}
+	return int64((uint32(v) & uint32(r.SelMask())) >> uint(r.From))
+}
+
+// Memory operation encoding (Appendix A): the low two bits select the
+// operation; bit 2 enables write tracing and bit 3 read tracing.
+const (
+	OpRead   = 0
+	OpWrite  = 1
+	OpInput  = 2
+	OpOutput = 3
+
+	OpTraceWrites = 4
+	OpTraceReads  = 8
+)
+
+// TraceWrite reports whether a memory operation value asks for a write
+// trace this cycle: land(op, 5) = 5.
+func TraceWrite(op int64) bool { return Land(op, 5) == 5 }
+
+// TraceRead reports whether a memory operation value asks for a read
+// trace this cycle: land(op, 9) = 8.
+func TraceRead(op int64) bool { return Land(op, 9) == 8 }

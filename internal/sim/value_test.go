@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rtl/ast"
+	"repro/internal/rtl/parser"
+)
+
+func TestDoLogicTable(t *testing.T) {
+	cases := []struct {
+		funct, left, right, want int64
+	}{
+		{FnZero, 5, 7, 0},
+		{FnRight, 5, 7, 7},
+		{FnLeft, 5, 7, 5},
+		{FnNot, 0, 0, Mask},
+		{FnNot, Mask, 0, 0},
+		{FnNot, 5, 0, Mask - 5},
+		{FnAdd, 5, 7, 12},
+		{FnSub, 5, 7, -2},
+		{FnSub, 7, 5, 2},
+		{FnShl, 3, 4, 48},
+		{FnShl, 1, 0, 0}, // the original's quirk: shift by 0 yields 0
+		{FnShl, 0, 5, 0},
+		{FnShl, 1, 30, 1 << 30},
+		{FnShl, 1, 31, 0}, // bit shifted out through the 31-bit mask
+		{FnMul, 6, 7, 42},
+		{FnAnd, 0b1100, 0b1010, 0b1000},
+		{FnOr, 0b1100, 0b1010, 0b1110},
+		{FnXor, 0b1100, 0b1010, 0b0110},
+		{FnUnused, 5, 7, 0},
+		{FnEq, 5, 5, 1},
+		{FnEq, 5, 6, 0},
+		{FnLt, 5, 6, 1},
+		{FnLt, 6, 5, 0},
+		{FnLt, 5, 5, 0},
+		{FnLt, -1, 0, 1}, // signed comparison, as in Pascal
+		{14, 5, 7, 0},    // out-of-range functions return 0
+		{-1, 5, 7, 0},
+		{99, 5, 7, 0},
+	}
+	for _, c := range cases {
+		if got := DoLogic(c.funct, c.left, c.right); got != c.want {
+			t.Errorf("DoLogic(%d, %d, %d) = %d, want %d", c.funct, c.left, c.right, got, c.want)
+		}
+	}
+}
+
+// Property: for 31-bit non-negative operands the arithmetic identities
+// behind functions 8-10 hold exactly: OR = l+r-AND, XOR = l+r-2*AND.
+func TestLogicIdentities(t *testing.T) {
+	f := func(a, b int64) bool {
+		l, r := a&Mask, b&Mask
+		return DoLogic(FnAnd, l, r) == l&r &&
+			DoLogic(FnOr, l, r) == l|r &&
+			DoLogic(FnXor, l, r) == l^r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: shift-left by k>0 equals (left << k) & Mask.
+func TestShiftProperty(t *testing.T) {
+	f := func(a int64, k uint8) bool {
+		l := a & Mask
+		n := int64(k%31) + 1
+		want := (l << uint(n)) & Mask
+		// The loop drops the value to 0 once left goes to 0, which
+		// agrees with masking.
+		return DoLogic(FnShl, l, n) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLand(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0b1100, 0b1010, 0b1000},
+		{-1, 5, 5},         // -1 is all ones in two's complement
+		{-1, -1, -1},       // 32-bit AND, sign-extended
+		{1 << 31, Mask, 0}, // bit 31 is outside the 31-bit mask
+	}
+	for _, c := range cases {
+		if got := Land(c.a, c.b); got != c.want {
+			t.Errorf("Land(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLandProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Land(a, b) == int64(int32(uint32(a)&uint32(b)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraceBits(t *testing.T) {
+	// write + trace-writes
+	if !TraceWrite(5) || TraceWrite(4) || TraceWrite(1) || TraceWrite(8) {
+		t.Error("TraceWrite misclassifies")
+	}
+	// read + trace-reads (bit 0 must be clear)
+	if !TraceRead(8) || TraceRead(9) || TraceRead(1) || TraceRead(0) {
+		t.Error("TraceRead misclassifies")
+	}
+	// combined read+write trace enable (op 13 = write + both traces)
+	if !TraceWrite(13) || TraceRead(13) {
+		t.Error("op 13 should trace the write only")
+	}
+	// op 12 = read with both trace bits: land(12,9)=8 -> read trace.
+	if !TraceRead(12) || TraceWrite(12) {
+		t.Error("op 12 should trace the read only")
+	}
+}
+
+func TestExtractRef(t *testing.T) {
+	ref := func(s string) *ast.Ref {
+		e, err := parser.ParseExpr(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		return e.Parts[0].(*ast.Ref)
+	}
+	v := int64(0b110100)
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"x", 0b110100},
+		{"x.0", 0},
+		{"x.2", 1},
+		{"x.3", 0},
+		{"x.2.4", 0b101},
+		{"x.4.5", 0b11},
+		{"x.0.5", 0b110100},
+		{"x.6.8", 0},
+	}
+	for _, c := range cases {
+		if got := ExtractRef(v, ref(c.expr)); got != c.want {
+			t.Errorf("ExtractRef(%b, %s) = %d, want %d", v, c.expr, got, c.want)
+		}
+	}
+	// Whole references pass negative values through; subfields of a
+	// negative value see its two's-complement bits.
+	if got := ExtractRef(-1, ref("x")); got != -1 {
+		t.Errorf("whole ref of -1 = %d", got)
+	}
+	if got := ExtractRef(-1, ref("x.3")); got != 1 {
+		t.Errorf("bit 3 of -1 = %d, want 1", got)
+	}
+}
+
+func TestFunctionName(t *testing.T) {
+	if FunctionName(FnAdd) != "add" || FunctionName(FnLt) != "lt" || FunctionName(42) != "undef" {
+		t.Error("FunctionName wrong")
+	}
+	for f := int64(0); f < NumFunctions; f++ {
+		if FunctionName(f) == "undef" {
+			t.Errorf("function %d has no name", f)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package specgen generates random — but statically and dynamically
+// valid — ASIM II specifications. The cross-backend equivalence suite
+// runs each generated spec on every backend and requires bit-identical
+// state trajectories; the fuzz-ish corpus this produces exercises
+// concatenations, subfields, all ALU functions, selector dispatch and
+// memory read/write far beyond the hand-written machines.
+//
+// Validity is by construction:
+//
+//   - combinational components only reference earlier combinational
+//     components (a DAG) or memories;
+//   - memory sizes are powers of two and address expressions are
+//     width-limited subfields, so addresses cannot leave the array;
+//   - selector case counts are powers of two matching the select
+//     subfield width, so dispatch cannot go out of range;
+//   - no input/output operations (runs need no I/O plumbing).
+package specgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config bounds a generated specification.
+type Config struct {
+	Combs int // number of ALUs + selectors (>= 1)
+	Mems  int // number of memories (>= 1)
+}
+
+// Generate produces a random specification in source form.
+func Generate(rng *rand.Rand, cfg Config) string {
+	if cfg.Combs < 1 {
+		cfg.Combs = 1
+	}
+	if cfg.Mems < 1 {
+		cfg.Mems = 1
+	}
+	g := &gen{rng: rng}
+	for i := 0; i < cfg.Mems; i++ {
+		g.memBits = append(g.memBits, 1+rng.Intn(5)) // 2..32 cells
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "# generated spec combs=%d mems=%d\n", cfg.Combs, cfg.Mems)
+
+	// Name list: everything declared, memories traced.
+	for i := 0; i < cfg.Combs; i++ {
+		fmt.Fprintf(&b, "c%d ", i)
+	}
+	for i := 0; i < cfg.Mems; i++ {
+		fmt.Fprintf(&b, "m%d* ", i)
+	}
+	b.WriteString(".\n")
+
+	// Combinational components, in dependency-safe declaration order.
+	for i := 0; i < cfg.Combs; i++ {
+		g.avail = i // c0..c(i-1) are referencable
+		if rng.Intn(3) == 0 {
+			g.selector(&b, i)
+		} else {
+			g.alu(&b, i)
+		}
+	}
+	g.avail = cfg.Combs
+	for i := 0; i < cfg.Mems; i++ {
+		g.memory(&b, i)
+	}
+	b.WriteString(".\n")
+	return b.String()
+}
+
+type gen struct {
+	rng     *rand.Rand
+	avail   int   // combinational components c0..c(avail-1) may be referenced
+	memBits []int // address width of each memory
+}
+
+func (g *gen) alu(b *strings.Builder, i int) {
+	var funct string
+	if g.rng.Intn(4) == 0 {
+		// Dynamic function: a 4-bit subfield (0..15; values above 13
+		// yield 0 in every backend).
+		funct = g.boundedRef(4)
+	} else {
+		funct = fmt.Sprintf("%d", g.rng.Intn(14))
+	}
+	fmt.Fprintf(b, "A c%d %s %s %s\n", i, funct, g.expr(), g.expr())
+}
+
+func (g *gen) selector(b *strings.Builder, i int) {
+	bits := 1 + g.rng.Intn(3) // 1..3 bits -> 2..8 cases
+	fmt.Fprintf(b, "S c%d %s", i, g.boundedRef(bits))
+	for j := 0; j < 1<<uint(bits); j++ {
+		fmt.Fprintf(b, " %s", g.expr())
+	}
+	b.WriteString("\n")
+}
+
+func (g *gen) memory(b *strings.Builder, i int) {
+	bits := g.memBits[i]
+	size := 1 << uint(bits)
+	addr := g.boundedRef(bits)
+	data := g.expr()
+	// Operation: constant read/write, possibly with trace bits, or a
+	// dynamic 1-bit read/write select.
+	var opn string
+	switch g.rng.Intn(4) {
+	case 0:
+		opn = "0"
+	case 1:
+		opn = "1"
+	case 2:
+		opn = fmt.Sprintf("%d", []int{4, 5, 8, 9, 12, 13}[g.rng.Intn(6)])
+	default:
+		opn = g.boundedRef(1)
+	}
+	if g.rng.Intn(2) == 0 {
+		// Initialized memory.
+		fmt.Fprintf(b, "M m%d %s %s %s -%d", i, addr, data, opn, size)
+		for j := 0; j < size; j++ {
+			fmt.Fprintf(b, " %d", g.rng.Intn(1<<16))
+		}
+		b.WriteString("\n")
+	} else {
+		fmt.Fprintf(b, "M m%d %s %s %s %d\n", i, addr, data, opn, size)
+	}
+}
+
+// ref returns a random referencable component name.
+func (g *gen) ref() string {
+	n := g.avail + len(g.memBits)
+	k := g.rng.Intn(n)
+	if k < g.avail {
+		return fmt.Sprintf("c%d", k)
+	}
+	return fmt.Sprintf("m%d", k-g.avail)
+}
+
+// boundedRef returns a reference expression guaranteed to evaluate to
+// fewer than 2^bits.
+func (g *gen) boundedRef(bits int) string {
+	from := g.rng.Intn(8)
+	if bits == 1 && g.rng.Intn(2) == 0 {
+		return fmt.Sprintf("%s.%d", g.ref(), from)
+	}
+	return fmt.Sprintf("%s.%d.%d", g.ref(), from, from+bits-1)
+}
+
+// expr returns a random expression: either a single part or a
+// width-legal concatenation.
+func (g *gen) expr() string {
+	n := 1 + g.rng.Intn(3)
+	parts := make([]string, 0, n)
+	budget := 31
+	for i := 0; i < n; i++ {
+		leftmost := i == 0
+		parts = append(parts, g.part(leftmost && n == 1, &budget))
+	}
+	// Parts were generated most-significant first; all but the first
+	// are width-bounded by construction.
+	return strings.Join(parts, ",")
+}
+
+// part generates one concatenation part. If unboundedOK, parts with
+// unbounded width (whole refs, plain numbers) are allowed.
+func (g *gen) part(unboundedOK bool, budget *int) string {
+	switch g.rng.Intn(4) {
+	case 0: // number
+		v := g.rng.Intn(1 << 12)
+		if unboundedOK {
+			switch g.rng.Intn(4) {
+			case 0:
+				return fmt.Sprintf("%d", v)
+			case 1:
+				return fmt.Sprintf("%%%b", v)
+			case 2:
+				return fmt.Sprintf("$%X", v)
+			default:
+				return fmt.Sprintf("^%d", g.rng.Intn(12))
+			}
+		}
+		w := 1 + g.rng.Intn(min(8, *budget))
+		*budget -= w
+		return fmt.Sprintf("%d.%d", v, w)
+	case 1: // bit string
+		w := 1 + g.rng.Intn(min(6, *budget))
+		*budget -= w
+		s := "#"
+		for i := 0; i < w; i++ {
+			s += string('0' + byte(g.rng.Intn(2)))
+		}
+		return s
+	case 2: // whole ref
+		if unboundedOK {
+			return g.ref()
+		}
+		fallthrough
+	default: // subfield ref
+		w := 1 + g.rng.Intn(min(6, *budget))
+		*budget -= w
+		from := g.rng.Intn(10)
+		if w == 1 {
+			return fmt.Sprintf("%s.%d", g.ref(), from)
+		}
+		return fmt.Sprintf("%s.%d.%d", g.ref(), from, from+w-1)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,279 @@
+// Package stackasm assembles programs for the reproduction's
+// microcoded stack machine (the Appendix D workload carrier — see
+// DESIGN.md for why the machine was rebuilt rather than transcribed).
+//
+// The ISA uses 16-bit words: the high four bits are the opcode and the
+// low twelve an immediate operand (literal value or address).
+//
+//	HALT          stop (the microcode spins)
+//	LIT k         push k
+//	LOAD a        push mem[a]
+//	STORE a       mem[a] := pop
+//	ADD SUB MUL   binary: push (nos OP tos)
+//	LT EQ         binary comparisons producing 0/1
+//	JMP a         jump
+//	JZ a          pop; jump when zero
+//	OUT           pop and output as integer (memory-mapped address 1)
+//	DUP           duplicate top of stack
+//	POP           discard top of stack
+//	LDI           tos := mem[tos]           (load indirect)
+//	STI           pop addr, pop v; mem[addr] := v   (store indirect)
+//
+// The assembly syntax is line oriented: optional "label:" prefixes,
+// "NAME = number" constant definitions, one mnemonic with an optional
+// operand (number, constant, label, or X+Y sums of those), and ";"
+// comments.
+package stackasm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Op is a stack machine opcode.
+type Op uint8
+
+// The sixteen opcodes, in encoding order.
+const (
+	HALT Op = iota
+	LIT
+	LOAD
+	STORE
+	ADD
+	SUB
+	MUL
+	LT
+	EQ
+	JMP
+	JZ
+	OUT
+	DUP
+	POP
+	LDI
+	STI
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	"HALT", "LIT", "LOAD", "STORE", "ADD", "SUB", "MUL", "LT",
+	"EQ", "JMP", "JZ", "OUT", "DUP", "POP", "LDI", "STI",
+}
+
+func (o Op) String() string {
+	if o < numOps {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// HasArg reports whether the opcode takes an operand.
+func (o Op) HasArg() bool {
+	switch o {
+	case LIT, LOAD, STORE, JMP, JZ:
+		return true
+	}
+	return false
+}
+
+// OpByName resolves a mnemonic (case-insensitive).
+func OpByName(name string) (Op, bool) {
+	up := strings.ToUpper(name)
+	for i, n := range opNames {
+		if n == up {
+			return Op(i), true
+		}
+	}
+	return 0, false
+}
+
+// ArgBits is the operand field width; operands are 0..ArgMax.
+const ArgBits = 12
+
+// ArgMax is the largest encodable operand.
+const ArgMax = 1<<ArgBits - 1
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op  Op
+	Arg int64
+}
+
+func (i Instr) String() string {
+	if i.Op.HasArg() {
+		return fmt.Sprintf("%s %d", i.Op, i.Arg)
+	}
+	return i.Op.String()
+}
+
+// Encode packs an instruction into a 16-bit word.
+func Encode(i Instr) int64 {
+	return int64(i.Op)<<ArgBits | (i.Arg & ArgMax)
+}
+
+// Decode unpacks a 16-bit word.
+func Decode(w int64) Instr {
+	return Instr{Op: Op((w >> ArgBits) & 0xF), Arg: w & ArgMax}
+}
+
+// Program is an assembled program with its symbol table.
+type Program struct {
+	Words   []int64
+	Symbols map[string]int64 // labels and constants
+}
+
+// AsmError reports an assembly failure with its line number.
+type AsmError struct {
+	Line int
+	Msg  string
+}
+
+func (e *AsmError) Error() string { return fmt.Sprintf("asm:%d: %s", e.Line, e.Msg) }
+
+// Assemble translates assembly text into machine words.
+func Assemble(src string) (*Program, error) {
+	type pending struct {
+		line  int
+		op    Op
+		arg   string // unresolved operand text
+		index int    // word index
+	}
+	p := &Program{Symbols: make(map[string]int64)}
+	var fixups []pending
+
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+
+		// Constant definition: NAME = number.
+		if i := strings.IndexByte(line, '='); i >= 0 && !strings.Contains(line[:i], ":") {
+			name := strings.TrimSpace(line[:i])
+			valText := strings.TrimSpace(line[i+1:])
+			if !validSymbol(name) {
+				return nil, &AsmError{ln + 1, fmt.Sprintf("bad constant name %q", name)}
+			}
+			v, err := strconv.ParseInt(valText, 10, 64)
+			if err != nil {
+				return nil, &AsmError{ln + 1, fmt.Sprintf("bad constant value %q", valText)}
+			}
+			if _, dup := p.Symbols[name]; dup {
+				return nil, &AsmError{ln + 1, fmt.Sprintf("symbol %q redefined", name)}
+			}
+			p.Symbols[name] = v
+			continue
+		}
+
+		// Labels (possibly several) before the instruction.
+		for {
+			i := strings.IndexByte(line, ':')
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if !validSymbol(label) {
+				return nil, &AsmError{ln + 1, fmt.Sprintf("bad label %q", label)}
+			}
+			if _, dup := p.Symbols[label]; dup {
+				return nil, &AsmError{ln + 1, fmt.Sprintf("symbol %q redefined", label)}
+			}
+			p.Symbols[label] = int64(len(p.Words))
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+
+		fields := strings.Fields(line)
+		op, ok := OpByName(fields[0])
+		if !ok {
+			return nil, &AsmError{ln + 1, fmt.Sprintf("unknown mnemonic %q", fields[0])}
+		}
+		// Rejoin operand fields so "BASE + 1" works like "BASE+1".
+		if len(fields) > 2 {
+			fields = []string{fields[0], strings.Join(fields[1:], "")}
+		}
+		switch {
+		case op.HasArg() && len(fields) == 2:
+			fixups = append(fixups, pending{ln + 1, op, fields[1], len(p.Words)})
+			p.Words = append(p.Words, 0)
+		case op.HasArg():
+			return nil, &AsmError{ln + 1, fmt.Sprintf("%s needs exactly one operand", op)}
+		case len(fields) != 1:
+			return nil, &AsmError{ln + 1, fmt.Sprintf("%s takes no operand", op)}
+		default:
+			p.Words = append(p.Words, Encode(Instr{Op: op}))
+		}
+	}
+
+	for _, f := range fixups {
+		v, err := p.resolve(f.arg)
+		if err != nil {
+			return nil, &AsmError{f.line, err.Error()}
+		}
+		if v < 0 || v > ArgMax {
+			return nil, &AsmError{f.line, fmt.Sprintf("operand %d out of range 0..%d", v, ArgMax)}
+		}
+		p.Words[f.index] = Encode(Instr{Op: f.op, Arg: v})
+	}
+	return p, nil
+}
+
+// resolve evaluates an operand: a '+'-separated sum of numbers and
+// symbols.
+func (p *Program) resolve(s string) (int64, error) {
+	var total int64
+	for _, term := range strings.Split(s, "+") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			return 0, fmt.Errorf("empty term in operand %q", s)
+		}
+		if v, err := strconv.ParseInt(term, 10, 64); err == nil {
+			total += v
+			continue
+		}
+		v, ok := p.Symbols[term]
+		if !ok {
+			return 0, fmt.Errorf("undefined symbol %q", term)
+		}
+		total += v
+	}
+	return total, nil
+}
+
+func validSymbol(s string) bool {
+	if s == "" {
+		return false
+	}
+	if _, isOp := OpByName(s); isOp {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		alpha := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+		digit := c >= '0' && c <= '9'
+		if i == 0 && !alpha {
+			return false
+		}
+		if !alpha && !digit {
+			return false
+		}
+	}
+	return true
+}
+
+// Disassemble renders words as one instruction per line.
+func Disassemble(words []int64) string {
+	var b strings.Builder
+	for i, w := range words {
+		fmt.Fprintf(&b, "%4d: %s\n", i, Decode(w))
+	}
+	return b.String()
+}

@@ -1,0 +1,188 @@
+package stackasm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(op uint8, arg uint16) bool {
+		in := Instr{Op: Op(op % uint8(numOps)), Arg: int64(arg) & ArgMax}
+		return Decode(Encode(in)) == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssembleBasic(t *testing.T) {
+	p, err := Assemble("LIT 5\nLIT 7\nADD\nOUT\nHALT\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Instr{{LIT, 5}, {LIT, 7}, {ADD, 0}, {OUT, 0}, {HALT, 0}}
+	if len(p.Words) != len(want) {
+		t.Fatalf("words = %v", p.Words)
+	}
+	for i, w := range p.Words {
+		if Decode(w) != want[i] {
+			t.Errorf("word %d = %v, want %v", i, Decode(w), want[i])
+		}
+	}
+}
+
+func TestAssembleLabelsAndConstants(t *testing.T) {
+	src := `
+X = 30
+loop:   LOAD X
+        JZ done
+        JMP loop
+done:   HALT
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Symbols["loop"] != 0 || p.Symbols["done"] != 3 || p.Symbols["X"] != 30 {
+		t.Errorf("symbols = %v", p.Symbols)
+	}
+	if in := Decode(p.Words[2]); in.Op != JMP || in.Arg != 0 {
+		t.Errorf("JMP = %v", in)
+	}
+	if in := Decode(p.Words[1]); in.Op != JZ || in.Arg != 3 {
+		t.Errorf("JZ = %v", in)
+	}
+}
+
+func TestAssembleForwardReference(t *testing.T) {
+	p, err := Assemble("JMP end\nHALT\nend: HALT\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := Decode(p.Words[0]); in.Arg != 2 {
+		t.Errorf("forward ref = %v", in)
+	}
+}
+
+func TestAssembleSums(t *testing.T) {
+	p, err := Assemble("BASE = 16\nLIT BASE+4\nLOAD BASE + 1\nHALT\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Decode(p.Words[0]).Arg != 20 || Decode(p.Words[1]).Arg != 17 {
+		t.Errorf("sums = %v %v", Decode(p.Words[0]), Decode(p.Words[1]))
+	}
+}
+
+func TestAssembleComments(t *testing.T) {
+	p, err := Assemble("; leading comment\nLIT 1 ; trailing\n\nHALT\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Words) != 2 {
+		t.Errorf("words = %v", p.Words)
+	}
+}
+
+func TestAssembleMultipleLabelsOneLine(t *testing.T) {
+	p, err := Assemble("a: b: HALT\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Symbols["a"] != 0 || p.Symbols["b"] != 0 {
+		t.Errorf("symbols = %v", p.Symbols)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct{ name, src, sub string }{
+		{"unknownOp", "FLY 1", "unknown mnemonic"},
+		{"missingArg", "LIT", "needs exactly one operand"},
+		{"extraArg", "ADD 3", "takes no operand"},
+		{"undefinedSym", "JMP nowhere", "undefined symbol"},
+		{"dupLabel", "x: HALT\nx: HALT", "redefined"},
+		{"dupConst", "A1 = 2\nA1 = 3", "redefined"},
+		{"badLabel", "9x: HALT", "bad label"},
+		{"argRange", "LIT 5000", "out of range"},
+		{"badConstVal", "Q = zz", "bad constant value"},
+		{"opAsLabel", "ADD: HALT", "bad label"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble(c.src)
+			if err == nil || !strings.Contains(err.Error(), c.sub) {
+				t.Errorf("err = %v, want %q", err, c.sub)
+			}
+			if err != nil {
+				if _, ok := err.(*AsmError); !ok {
+					t.Errorf("error type %T", err)
+				}
+			}
+		})
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	withArg := []Op{LIT, LOAD, STORE, JMP, JZ}
+	for _, o := range withArg {
+		if !o.HasArg() {
+			t.Errorf("%s should take an operand", o)
+		}
+	}
+	without := []Op{HALT, ADD, SUB, MUL, LT, EQ, OUT, DUP, POP, LDI, STI}
+	for _, o := range without {
+		if o.HasArg() {
+			t.Errorf("%s should not take an operand", o)
+		}
+	}
+}
+
+func TestOpByNameCaseInsensitive(t *testing.T) {
+	for _, s := range []string{"add", "Add", "ADD"} {
+		if op, ok := OpByName(s); !ok || op != ADD {
+			t.Errorf("OpByName(%q) = %v %v", s, op, ok)
+		}
+	}
+	if _, ok := OpByName("NOPE"); ok {
+		t.Error("OpByName(NOPE) should fail")
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	p, _ := Assemble("LIT 7\nHALT\n")
+	d := Disassemble(p.Words)
+	if !strings.Contains(d, "LIT 7") || !strings.Contains(d, "HALT") {
+		t.Errorf("disassembly = %q", d)
+	}
+}
+
+// Property: assembling a random instruction stream and disassembling
+// it preserves every instruction.
+func TestAssembleDisassembleProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 100; iter++ {
+		n := 1 + rng.Intn(40)
+		var src strings.Builder
+		var want []Instr
+		for i := 0; i < n; i++ {
+			op := Op(rng.Intn(int(numOps)))
+			in := Instr{Op: op}
+			if op.HasArg() {
+				in.Arg = int64(rng.Intn(ArgMax + 1))
+			}
+			want = append(want, in)
+			src.WriteString(in.String() + "\n")
+		}
+		p, err := Assemble(src.String())
+		if err != nil {
+			t.Fatalf("iter %d: %v\n%s", iter, err, src.String())
+		}
+		for i, w := range p.Words {
+			if Decode(w) != want[i] {
+				t.Fatalf("iter %d word %d: %v != %v", iter, i, Decode(w), want[i])
+			}
+		}
+	}
+}

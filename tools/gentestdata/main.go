@@ -1,0 +1,23 @@
+package main
+
+import (
+	"os"
+
+	"repro/internal/machines"
+)
+
+func main() {
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	must(os.WriteFile("testdata/counter.sim", []byte(machines.Counter()), 0o644))
+	tiny, err := machines.TinyComputer(machines.TinyDivideImage(47, 5))
+	must(err)
+	must(os.WriteFile("testdata/tinycpu.sim", []byte(tiny), 0o644))
+	sieve, err := machines.SieveSpec(20)
+	must(err)
+	must(os.WriteFile("testdata/sieve.sim", []byte(sieve), 0o644))
+	must(os.WriteFile("testdata/ibsm1986.sim", []byte(machines.IBSM1986()), 0o644))
+}
