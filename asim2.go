@@ -18,6 +18,8 @@
 // the codegen packages emit stand-alone Go or Pascal simulators.
 package asim2
 
+//go:generate go run ./tools/gentestdata
+
 import (
 	"io"
 

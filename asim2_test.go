@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/machines"
 )
 
 const counterSrc = `# counter
@@ -83,6 +85,39 @@ func TestFacadeRuntimeErrorType(t *testing.T) {
 	err = m.Run(1)
 	if _, ok := err.(*RuntimeError); !ok {
 		t.Errorf("error type %T: %v", err, err)
+	}
+}
+
+// TestTestdataFresh regenerates the canonical specification set
+// in-process and diffs it against the committed testdata/ files, so
+// they can never go stale relative to the internal/machines builders.
+// `go generate .` rewrites them.
+func TestTestdataFresh(t *testing.T) {
+	specs, err := machines.Testdata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for name, want := range specs {
+		path := filepath.Join("testdata", name)
+		seen[path] = true
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("%s missing (run `go generate .`): %v", path, err)
+			continue
+		}
+		if string(got) != want {
+			t.Errorf("%s is stale relative to internal/machines (run `go generate .`)", path)
+		}
+	}
+	paths, err := filepath.Glob("testdata/*.sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range paths {
+		if !seen[path] {
+			t.Errorf("%s is not produced by tools/gentestdata", path)
+		}
 	}
 }
 

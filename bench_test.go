@@ -1,11 +1,13 @@
 package asim2
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
 	"testing"
 
+	"repro/internal/campaign"
 	"repro/internal/codegen/gogen"
 	"repro/internal/codegen/pasgen"
 	"repro/internal/core"
@@ -187,6 +189,35 @@ func BenchmarkAblationNameLookup(b *testing.B) {
 	spec := sieveSpec(b)
 	b.Run("indexed", func(b *testing.B) { benchMachine(b, spec, Interp) })
 	b.Run("linear", func(b *testing.B) { benchMachine(b, spec, InterpNaive) })
+}
+
+// BenchmarkCampaignScaling measures the campaign engine's aggregate
+// throughput on a fleet of independent sieve machines at several
+// worker counts — the repo's many-machines-at-once counterpart of
+// Figure 5.1's one-machine cycles/s. On a multi-core host aggregate
+// cycles/s should scale near-linearly until workers exceed cores;
+// the reported metric seeds the BENCH_*.json perf trajectory.
+func BenchmarkCampaignScaling(b *testing.B) {
+	spec := sieveSpec(b)
+	const fleetSize = 8
+	const perRun = int64(5545) // the same scale as Figure 5.1's 5545-cycle run
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			eng := campaign.Engine{Workers: workers}
+			runs := campaign.Fleet("sieve", spec, Compiled, fleetSize, perRun)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results, err := eng.Execute(context.Background(), runs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sum := campaign.Summarize(results, 0); sum.Errors != 0 || sum.Divergences != 0 {
+					b.Fatalf("campaign summary: %+v", sum)
+				}
+			}
+			b.ReportMetric(float64(int64(b.N)*fleetSize*perRun)/b.Elapsed().Seconds(), "cycles/s")
+		})
+	}
 }
 
 // BenchmarkISP times the instruction-set-level simulator (§1.2): the

@@ -1,17 +1,22 @@
 // Command faultcampaign demonstrates §2.3.2's design-verification
-// workflow: it runs the tiny computer's divider once fault-free, then
-// once per injected register fault, and reports which faults corrupt
-// the result — "if a catastrophic failure occurs on a certain type of
-// fault, additional design work is necessary".
+// workflow at campaign scale: it runs the tiny computer's divider once
+// fault-free, then once per injected register fault — sharded across
+// the campaign engine's worker pool — and reports which faults corrupt
+// the result. "If a catastrophic failure occurs on a certain type of
+// fault, additional design work is necessary."
 //
 //	go run ./examples/faultcampaign
+//	go run ./examples/faultcampaign -workers 8
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
 	asim2 "repro"
+	"repro/internal/campaign"
 	"repro/internal/fault"
 	"repro/internal/machines"
 	"repro/internal/sim"
@@ -19,6 +24,9 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	workers := flag.Int("workers", 0, "campaign worker goroutines (0 = GOMAXPROCS)")
+	flag.Parse()
+
 	src, err := machines.TinyComputer(machines.TinyDivideImage(47, 5))
 	if err != nil {
 		log.Fatal(err)
@@ -48,7 +56,8 @@ func main() {
 		fault.Fault{Component: "pc", Bit: 3, Kind: fault.Flip, From: 200},
 	)
 
-	results, golden, err := fault.Campaign(mk, 2000, digest, faults)
+	eng := campaign.Engine{Workers: *workers}
+	results, golden, err := campaign.RunFaults(context.Background(), eng, mk, 2000, digest, faults)
 	if err != nil {
 		log.Fatal(err)
 	}

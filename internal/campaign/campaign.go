@@ -1,0 +1,265 @@
+// Package campaign is the batch-simulation engine: it shards many
+// independent machine runs — fault-injection campaigns, parameter
+// sweeps over generated specifications, multi-backend comparison
+// fleets — across a worker pool, and rolls the per-run statistics up
+// into campaign-level aggregates (total cycles, cycles/s, divergence
+// and fault-outcome counts).
+//
+// The thesis' whole argument (Figure 5.1) is simulator throughput; a
+// campaign is how that throughput is spent at scale: not one machine
+// at a time but a fleet of them, with results that are deterministic —
+// byte-identical regardless of worker count — because every Result is
+// stored at its Run's index and all timing lives in the Summary.
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// Run is one unit of campaign work: build a machine, run it for a
+// cycle budget, digest the outcome.
+type Run struct {
+	// Name identifies the run in results and reports.
+	Name string
+
+	// Group links runs whose digests are expected to agree (the same
+	// spec on several backends, identical fleet members, a fault
+	// campaign keyed to its golden run). Summarize counts a divergence
+	// for every run whose digest differs from the lowest-indexed run
+	// of its group. Empty means ungrouped.
+	Group string
+
+	// Make builds a fresh machine. It is called on a worker goroutine,
+	// so it must not share mutable state with other runs.
+	Make func() (*sim.Machine, error)
+
+	// Cycles is the run's cycle budget.
+	Cycles int64
+
+	// Digest reduces the final machine state to a comparable string.
+	// nil uses SnapshotDigest.
+	Digest func(*sim.Machine) string
+
+	// Faults are injected before the run starts.
+	Faults []fault.Fault
+}
+
+// Result is the outcome of one Run. Results carry no wall-clock
+// timing, so a campaign's []Result is identical for any worker count.
+type Result struct {
+	Index     int       // position in the campaign's run list
+	Name      string    // Run.Name
+	Group     string    // Run.Group
+	Cycles    int64     // cycles actually executed
+	Stats     sim.Stats // the machine's execution statistics
+	Digest    string    // outcome digest (also computed after runtime errors)
+	Activated []int64   // per-fault activation counts, parallel to Run.Faults
+	Err       error     // build error, runtime error, or ctx.Err() if cancelled
+}
+
+// Engine executes campaigns across a worker pool.
+type Engine struct {
+	// Workers is the number of worker goroutines; <= 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+
+	// Chunk is the cycle granularity of cancellation checks inside a
+	// single run; <= 0 means 4096. Smaller chunks cancel long runs
+	// sooner at slightly more loop overhead.
+	Chunk int64
+}
+
+// Execute runs every Run across the worker pool. results[i] always
+// corresponds to runs[i], whatever the worker count or completion
+// order. When ctx is cancelled, runs not yet finished record ctx's
+// error in their Result and Execute returns it; already-finished
+// results are kept.
+func (e Engine) Execute(ctx context.Context, runs []Run) ([]Result, error) {
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+	results := make([]Result, len(runs))
+	if len(runs) == 0 {
+		return results, ctx.Err()
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = e.exec(ctx, i, runs[i])
+			}
+		}()
+	}
+	// Dispatch every index: once ctx is cancelled, exec returns
+	// immediately, so the queue drains without running anything more.
+	for i := range runs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results, ctx.Err()
+}
+
+// exec performs one run on the calling goroutine.
+func (e Engine) exec(ctx context.Context, idx int, r Run) Result {
+	res := Result{Index: idx, Name: r.Name, Group: r.Group}
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
+	m, err := r.Make()
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	var inj *fault.Injector
+	if len(r.Faults) > 0 {
+		if inj, err = fault.Inject(m, r.Faults...); err != nil {
+			res.Err = err
+			return res
+		}
+	}
+
+	chunk := e.Chunk
+	if chunk <= 0 {
+		chunk = 4096
+	}
+	for remaining := r.Cycles; remaining > 0; {
+		if err := ctx.Err(); err != nil {
+			res.Err = err
+			break
+		}
+		n := min(chunk, remaining)
+		if err := m.Run(n); err != nil {
+			res.Err = err
+			break
+		}
+		remaining -= n
+	}
+
+	res.Cycles = m.Cycle()
+	res.Stats = m.Stats()
+	if inj != nil {
+		res.Activated = append([]int64(nil), inj.Applied...)
+	}
+	// A runtime error is a run *outcome* (fault campaigns count on
+	// it), not a campaign failure; the digest of whatever state the
+	// machine reached is still comparable.
+	digest := r.Digest
+	if digest == nil {
+		digest = SnapshotDigest
+	}
+	res.Digest = digest(m)
+	return res
+}
+
+// SnapshotDigest hashes the machine's complete state — every component
+// output and every memory array — into a short hex string. It is the
+// default Run digest: two machines agree iff their architectures
+// reached identical state.
+func SnapshotDigest(m *sim.Machine) string {
+	snap := m.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, k := range keys {
+		h.Write([]byte(k))
+		for _, v := range snap[k] {
+			u := uint64(v)
+			for i := 0; i < 8; i++ {
+				buf[i] = byte(u >> (8 * i))
+			}
+			h.Write(buf[:])
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Summary rolls a campaign's results up to campaign level. All fields
+// except Elapsed and CyclesPerSec are deterministic functions of the
+// results alone.
+type Summary struct {
+	Runs            int   `json:"runs"`
+	Errors          int   `json:"errors"`           // runs that ended in an error
+	Cycles          int64 `json:"cycles"`           // total simulated cycles
+	MemReads        int64 `json:"mem_reads"`        // total memory read operations
+	MemWrites       int64 `json:"mem_writes"`       // total memory write operations
+	Divergences     int   `json:"divergences"`      // completed grouped runs whose digest differs from the group reference
+	FaultRuns       int   `json:"fault_runs"`       // runs that had faults injected
+	FaultsActivated int64 `json:"faults_activated"` // total cycles on which a fault changed a value
+
+	Elapsed      time.Duration `json:"-"`
+	ElapsedSec   float64       `json:"elapsed_s"`
+	CyclesPerSec float64       `json:"cycles_per_s"`
+}
+
+// Summarize aggregates results; elapsed is the campaign's wall-clock
+// time (zero disables the throughput fields).
+func Summarize(results []Result, elapsed time.Duration) Summary {
+	s := Summary{Runs: len(results), Elapsed: elapsed, ElapsedSec: elapsed.Seconds()}
+	ref := make(map[string]string) // group -> reference digest
+	for _, r := range results {
+		s.Cycles += r.Stats.Cycles
+		s.MemReads += r.Stats.MemReads()
+		s.MemWrites += r.Stats.MemWrites()
+		if r.Err != nil {
+			s.Errors++
+		}
+		if r.Activated != nil {
+			s.FaultRuns++
+			for _, n := range r.Activated {
+				s.FaultsActivated += n
+			}
+		}
+		// Divergences are counted among completed runs only: a run
+		// that was cancelled or never built has no meaningful digest
+		// (and must not become a group's reference), and a run that
+		// died on a runtime error is already counted in Errors.
+		if r.Group != "" && r.Err == nil {
+			if want, ok := ref[r.Group]; !ok {
+				ref[r.Group] = r.Digest
+			} else if r.Digest != want {
+				s.Divergences++
+			}
+		}
+	}
+	if elapsed > 0 {
+		s.CyclesPerSec = float64(s.Cycles) / elapsed.Seconds()
+	}
+	return s
+}
+
+// String renders a one-line human-readable summary.
+func (s Summary) String() string {
+	line := fmt.Sprintf("%d runs, %d cycles (%d reads, %d writes)",
+		s.Runs, s.Cycles, s.MemReads, s.MemWrites)
+	if s.Elapsed > 0 {
+		line += fmt.Sprintf(" in %v (%.0f cycles/s)", s.Elapsed.Round(time.Microsecond), s.CyclesPerSec)
+	}
+	line += fmt.Sprintf(", %d divergent, %d errors", s.Divergences, s.Errors)
+	if s.FaultRuns > 0 {
+		line += fmt.Sprintf(", %d fault runs (%d activations)", s.FaultRuns, s.FaultsActivated)
+	}
+	return line
+}

@@ -1,0 +1,284 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/machines"
+	"repro/internal/sim"
+	"repro/internal/specgen"
+)
+
+func sieveFleet(t *testing.T, n int, cycles int64) []Run {
+	t.Helper()
+	src, err := machines.SieveSpec(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := core.ParseString("sieve", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Fleet("sieve", spec, core.Compiled, n, cycles)
+}
+
+// TestWorkerCountInvariance is the engine's core contract: the same
+// campaign produces byte-identical results and aggregates at any
+// worker count.
+func TestWorkerCountInvariance(t *testing.T) {
+	build := func() []Run {
+		runs := sieveFleet(t, 6, 1500)
+		sweep, err := Sweep(specgen.Config{Combs: 8, Mems: 2},
+			[]core.Backend{core.Interp, core.Bytecode, core.Compiled}, 0, 4, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(runs, sweep...)
+	}
+
+	var want []Result
+	var wantSum Summary
+	for _, workers := range []int{1, 2, 8} {
+		eng := Engine{Workers: workers, Chunk: 128}
+		results, err := eng.Execute(context.Background(), build())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		sum := Summarize(results, 0) // zero elapsed: only deterministic fields
+		if workers == 1 {
+			want, wantSum = results, sum
+			continue
+		}
+		if !reflect.DeepEqual(results, want) {
+			t.Errorf("workers=%d: results differ from workers=1", workers)
+		}
+		if !reflect.DeepEqual(sum, wantSum) {
+			t.Errorf("workers=%d: summary %+v != %+v", workers, sum, wantSum)
+		}
+	}
+	if wantSum.Divergences != 0 || wantSum.Errors != 0 {
+		t.Errorf("clean fleet summary reports divergences/errors: %+v", wantSum)
+	}
+	if wantSum.Cycles != 6*1500+4*3*300 {
+		t.Errorf("total cycles = %d", wantSum.Cycles)
+	}
+}
+
+// TestCancelBeforeStart: a cancelled context runs nothing and reports
+// the cancellation on every result.
+func TestCancelBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	runs := sieveFleet(t, 4, 1000)
+	results, err := Engine{Workers: 2}.Execute(ctx, runs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for _, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("run %s: err = %v", r.Name, r.Err)
+		}
+		if r.Cycles != 0 {
+			t.Errorf("run %s executed %d cycles after cancellation", r.Name, r.Cycles)
+		}
+	}
+}
+
+// TestCancelMidCampaign cancels while workers are inside long runs:
+// the engine must stop promptly (chunked cancellation checks), leave
+// interrupted runs marked with the context error, and keep whatever
+// completed before the cancellation.
+func TestCancelMidCampaign(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 64)
+	runs := sieveFleet(t, 8, 1<<40) // far beyond any real budget
+	for i := range runs {
+		mk := runs[i].Make
+		runs[i].Make = func() (*sim.Machine, error) {
+			started <- struct{}{}
+			return mk()
+		}
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	done := make(chan struct{})
+	var results []Result
+	var err error
+	go func() {
+		results, err = Engine{Workers: 2, Chunk: 64}.Execute(ctx, runs)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Execute did not return after cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	interrupted := 0
+	for _, r := range results {
+		if errors.Is(r.Err, context.Canceled) {
+			interrupted++
+		}
+	}
+	if interrupted == 0 {
+		t.Error("no run recorded the cancellation")
+	}
+}
+
+// TestFaultCampaignParallel moves the thesis' verification workflow
+// (previously fault.Campaign's serial loop) onto the engine, with
+// enough workers that `go test -race` exercises the sharding.
+func TestFaultCampaignParallel(t *testing.T) {
+	s, ok := Lookup("tiny-divide-faults")
+	if !ok {
+		t.Fatal("scenario not registered")
+	}
+	src, err := machines.TinyComputer(machines.TinyDivideImage(47, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := core.ParseString("tiny", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := func(m *sim.Machine) string {
+		return fmt.Sprintf("q=%d r=%d", m.MemCell("memory", 32), m.MemCell("memory", 30))
+	}
+	faults := []fault.Fault{
+		// A stuck accumulator bit across many iterations must corrupt
+		// the division results.
+		{Component: "ac", Bit: 0, Kind: fault.StuckAt1, From: 40, Until: 400},
+		// A flip after the program has halted (spin loop) is harmless.
+		{Component: "ac", Bit: 0, Kind: fault.Flip, From: 1900},
+		// A stuck borrow bit ends the division immediately.
+		{Component: "borrow", Bit: 0, Kind: fault.StuckAt1, From: 0, Until: 1 << 30},
+	}
+	wantFailed := []bool{true, false, true}
+	results, golden, err := RunFaults(context.Background(), Engine{Workers: 8},
+		machineMaker(spec, core.Compiled), 2000, digest, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if golden != "q=9 r=2" {
+		t.Fatalf("golden digest = %q", golden)
+	}
+	for i, want := range wantFailed {
+		if results[i].Failed != want {
+			t.Errorf("fault %d (%s): failed = %v, want %v", i, results[i].Fault, results[i].Failed, want)
+		}
+		if results[i].Activated == 0 {
+			t.Errorf("fault %d never activated", i)
+		}
+	}
+
+	// A misconfigured fault (unknown component) is a campaign setup
+	// error, not a corruption finding.
+	if _, _, err := RunFaults(context.Background(), Engine{}, machineMaker(spec, core.Compiled), 100, digest,
+		[]fault.Fault{{Component: "no-such-reg", Bit: 0, Kind: fault.StuckAt1, From: 0, Until: 10}}); err == nil {
+		t.Error("invalid fault accepted as campaign outcome")
+	}
+
+	// The same campaign through the scenario registry: the golden-run
+	// group makes Summarize's divergence count the corruption count.
+	runs, err := s.Build(Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Engine{Workers: 8}.Execute(context.Background(), runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(res, time.Millisecond)
+	if sum.Divergences == 0 || sum.FaultRuns != len(runs)-1 {
+		t.Errorf("scenario summary: %+v", sum)
+	}
+}
+
+// TestScenarioRegistry builds and runs a small instance of every
+// registered scenario.
+func TestScenarioRegistry(t *testing.T) {
+	names := Names()
+	if len(names) < 5 {
+		t.Fatalf("scenarios = %v", names)
+	}
+	if _, ok := Lookup("no-such-scenario"); ok {
+		t.Error("bogus lookup succeeded")
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			s, ok := Lookup(name)
+			if !ok {
+				t.Fatal("lookup failed")
+			}
+			runs, err := s.Build(Params{N: 2, Cycles: 200, Size: 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(runs) == 0 {
+				t.Fatal("empty campaign")
+			}
+			results, err := Engine{Workers: 4}.Execute(context.Background(), runs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := Summarize(results, 0)
+			if sum.Errors != 0 {
+				for _, r := range results {
+					if r.Err != nil {
+						t.Errorf("run %s: %v", r.Name, r.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotDigest: distinct state must digest differently, equal
+// state identically.
+func TestSnapshotDigest(t *testing.T) {
+	spec, err := core.ParseString("counter", machines.Counter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := machineMaker(spec, core.Compiled)
+	a, _ := mk()
+	b, _ := mk()
+	if SnapshotDigest(a) != SnapshotDigest(b) {
+		t.Error("fresh machines digest differently")
+	}
+	if err := a.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	if SnapshotDigest(a) == SnapshotDigest(b) {
+		t.Error("diverged machines digest identically")
+	}
+}
+
+// TestEngineEmptyAndDefaults covers the engine's edge configuration.
+func TestEngineEmptyAndDefaults(t *testing.T) {
+	results, err := Engine{}.Execute(context.Background(), nil)
+	if err != nil || len(results) != 0 {
+		t.Fatalf("empty campaign: %v, %v", results, err)
+	}
+	// A build error is a per-run outcome, not a campaign abort.
+	runs := []Run{{Name: "broken", Make: func() (*sim.Machine, error) {
+		return nil, errors.New("boom")
+	}}}
+	results, err = Engine{}.Execute(context.Background(), runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil {
+		t.Error("build error not recorded")
+	}
+}

@@ -1,0 +1,121 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/specgen"
+)
+
+// Fleet builds n identical runs of one analyzed spec — the throughput
+// workload. All members share one comparison group: a fleet of
+// identical deterministic machines must agree, so any divergence in
+// the summary flags a simulator bug.
+func Fleet(name string, spec *core.Spec, backend core.Backend, n int, cycles int64) []Run {
+	runs := make([]Run, n)
+	for i := range runs {
+		runs[i] = Run{
+			Name:   fmt.Sprintf("%s#%d", name, i),
+			Group:  name,
+			Make:   machineMaker(spec, backend),
+			Cycles: cycles,
+		}
+	}
+	return runs
+}
+
+// BackendFleet builds one run per backend over the same spec, all in
+// one comparison group — §2.3.2's multi-level verification as a
+// campaign: every backend must reach bit-identical state.
+func BackendFleet(name string, spec *core.Spec, backends []core.Backend, cycles int64) []Run {
+	runs := make([]Run, len(backends))
+	for i, b := range backends {
+		runs[i] = Run{
+			Name:   fmt.Sprintf("%s/%s", name, b),
+			Group:  name,
+			Make:   machineMaker(spec, b),
+			Cycles: cycles,
+		}
+	}
+	return runs
+}
+
+// Sweep generates n random specifications (seeds seed..seed+n-1, via
+// internal/specgen) and builds a cross-backend comparison group for
+// each — the fuzz-ish equivalence corpus at campaign scale.
+func Sweep(cfg specgen.Config, backends []core.Backend, seed int64, n int, cycles int64) ([]Run, error) {
+	var runs []Run
+	for i := 0; i < n; i++ {
+		s := seed + int64(i)
+		src := specgen.Generate(rand.New(rand.NewSource(s)), cfg)
+		name := fmt.Sprintf("rand%d", s)
+		spec, err := core.ParseString(name, src)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: seed %d: %v", s, err)
+		}
+		runs = append(runs, BackendFleet(name, spec, backends, cycles)...)
+	}
+	return runs, nil
+}
+
+// FaultRuns builds a fault campaign: run 0 is the fault-free golden
+// run, runs 1..len(faults) inject one fault each. All runs share one
+// group keyed to the golden digest, so Summarize's divergence count is
+// exactly the number of corrupted runs.
+func FaultRuns(name string, mk func() (*sim.Machine, error), cycles int64, digest func(*sim.Machine) string, faults []fault.Fault) []Run {
+	runs := make([]Run, 0, len(faults)+1)
+	runs = append(runs, Run{Name: name + "/golden", Group: name, Make: mk, Cycles: cycles, Digest: digest})
+	for _, f := range faults {
+		runs = append(runs, Run{
+			Name:   fmt.Sprintf("%s/%s", name, f),
+			Group:  name,
+			Make:   mk,
+			Cycles: cycles,
+			Digest: digest,
+			Faults: []fault.Fault{f},
+		})
+	}
+	return runs
+}
+
+// RunFaults executes a fault campaign through the engine: one
+// fault-free golden run plus one run per fault, compared by a
+// caller-supplied outcome digest. It reproduces the thesis' "if a
+// catastrophic failure occurs on a certain type of fault, additional
+// design work is necessary" workflow — the parallel successor of the
+// serial loop internal/fault used to carry.
+func RunFaults(ctx context.Context, eng Engine, mk func() (*sim.Machine, error), cycles int64, digest func(*sim.Machine) string, faults []fault.Fault) ([]fault.CampaignResult, string, error) {
+	results, err := eng.Execute(ctx, FaultRuns("faults", mk, cycles, digest, faults))
+	if err != nil {
+		return nil, "", err
+	}
+	golden := results[0]
+	if golden.Err != nil {
+		return nil, "", fmt.Errorf("fault-free run failed: %v", golden.Err)
+	}
+	out := make([]fault.CampaignResult, 0, len(faults))
+	for i, r := range results[1:] {
+		// A nil Activated slice means the machine was never built or
+		// the fault never validated — a campaign configuration error,
+		// not a design-corruption finding.
+		if r.Activated == nil {
+			return nil, "", fmt.Errorf("fault run %s: %v", r.Name, r.Err)
+		}
+		cr := fault.CampaignResult{Fault: faults[i], Activated: r.Activated[0], Err: r.Err}
+		cr.Failed = r.Err != nil || r.Digest != golden.Digest
+		out = append(out, cr)
+	}
+	return out, golden.Digest, nil
+}
+
+// machineMaker closes over a parsed spec. The spec is shared read-only
+// across worker goroutines; each call builds a private machine.
+func machineMaker(spec *core.Spec, backend core.Backend) func() (*sim.Machine, error) {
+	return func() (*sim.Machine, error) {
+		return core.NewMachine(spec, backend, core.Options{})
+	}
+}

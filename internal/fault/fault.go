@@ -126,42 +126,13 @@ func (inj *Injector) apply(m *sim.Machine) {
 	}
 }
 
-// CampaignResult is one run of a fault campaign.
+// CampaignResult is one run of a fault campaign. The campaign driver
+// itself lives in internal/campaign (RunFaults), which shards the
+// golden run and every faulted run across a worker pool; this package
+// keeps only the fault model and the injection mechanism.
 type CampaignResult struct {
 	Fault     Fault
 	Activated int64 // cycles on which the fault changed a value
 	Failed    bool  // run outcome differed from the fault-free run
 	Err       error // runtime error triggered by the fault, if any
-}
-
-// Campaign runs the machine factory once fault-free and once per
-// fault, comparing a caller-supplied outcome digest. It reproduces the
-// thesis' "if a catastrophic failure occurs on a certain type of
-// fault, additional design work is necessary" workflow.
-func Campaign(mk func() (*sim.Machine, error), cycles int64, digest func(*sim.Machine) string, faults []Fault) ([]CampaignResult, string, error) {
-	golden, err := mk()
-	if err != nil {
-		return nil, "", err
-	}
-	if err := golden.Run(cycles); err != nil {
-		return nil, "", fmt.Errorf("fault-free run failed: %v", err)
-	}
-	want := digest(golden)
-
-	results := make([]CampaignResult, 0, len(faults))
-	for _, f := range faults {
-		m, err := mk()
-		if err != nil {
-			return nil, "", err
-		}
-		inj, err := Inject(m, f)
-		if err != nil {
-			return nil, "", err
-		}
-		runErr := m.Run(cycles)
-		r := CampaignResult{Fault: f, Activated: inj.Applied[0], Err: runErr}
-		r.Failed = runErr != nil || digest(m) != want
-		results = append(results, r)
-	}
-	return results, want, nil
 }

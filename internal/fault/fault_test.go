@@ -1,7 +1,6 @@
 package fault
 
 import (
-	"fmt"
 	"strings"
 	"testing"
 
@@ -103,55 +102,5 @@ func TestFaultString(t *testing.T) {
 	f = Fault{Component: "count", Bit: 2, Kind: Flip, From: 3}
 	if s := f.String(); !strings.Contains(s, "transient-flip") || !strings.Contains(s, "cycle 3") {
 		t.Errorf("String = %q", s)
-	}
-}
-
-// TestCampaignOnTinyComputer reproduces the thesis' verification
-// workflow: run the divider fault-free, then once per fault, and
-// report which faults corrupt the quotient.
-func TestCampaignOnTinyComputer(t *testing.T) {
-	src, err := machines.TinyComputer(machines.TinyDivideImage(47, 5))
-	if err != nil {
-		t.Fatal(err)
-	}
-	spec, err := core.ParseString("tiny", src)
-	if err != nil {
-		t.Fatal(err)
-	}
-	mk := func() (*sim.Machine, error) {
-		return core.NewMachine(spec, core.Compiled, core.Options{})
-	}
-	digest := func(m *sim.Machine) string {
-		return fmt.Sprintf("q=%d r=%d", m.MemCell("memory", 32), m.MemCell("memory", 30))
-	}
-	faults := []Fault{
-		// A stuck accumulator bit across many iterations must corrupt
-		// the division results.
-		{Component: "ac", Bit: 0, Kind: StuckAt1, From: 40, Until: 400},
-		// A flip after the program has halted (spin loop) is harmless.
-		{Component: "ac", Bit: 0, Kind: Flip, From: 1900},
-		// A stuck borrow bit ends the division immediately.
-		{Component: "borrow", Bit: 0, Kind: StuckAt1, From: 0, Until: 1 << 30},
-	}
-	results, golden, err := Campaign(mk, 2000, digest, faults)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if golden != "q=9 r=2" {
-		t.Fatalf("golden digest = %q", golden)
-	}
-	if !results[0].Failed {
-		t.Error("mid-run ac flip should corrupt the division")
-	}
-	if results[1].Failed {
-		t.Error("post-halt ac flip should be harmless")
-	}
-	if !results[2].Failed {
-		t.Error("stuck borrow should corrupt the division")
-	}
-	for i, r := range results {
-		if r.Activated == 0 {
-			t.Errorf("fault %d never activated", i)
-		}
 	}
 }

@@ -1,0 +1,23 @@
+package machines
+
+// Testdata returns the canonical checked-in specification set, keyed
+// by file name under the repository's testdata/ directory. It is the
+// single source of truth for tools/gentestdata (which writes the
+// files) and the root package's freshness test (which diffs them), so
+// the committed specs can never drift from the builders here.
+func Testdata() (map[string]string, error) {
+	tiny, err := TinyComputer(TinyDivideImage(47, 5))
+	if err != nil {
+		return nil, err
+	}
+	sieve, err := SieveSpec(20)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]string{
+		"counter.sim":  Counter(),
+		"tinycpu.sim":  tiny,
+		"sieve.sim":    sieve,
+		"ibsm1986.sim": IBSM1986(),
+	}, nil
+}

@@ -1,23 +1,30 @@
+// Command gentestdata (re)generates the checked-in testdata/*.sim
+// specifications from internal/machines.Testdata. Run it from the
+// repository root, normally via `go generate .`; the root package's
+// TestTestdataFresh fails whenever the committed files drift from the
+// builders.
 package main
 
 import (
+	"log"
 	"os"
+	"path/filepath"
 
 	"repro/internal/machines"
 )
 
 func main() {
-	must := func(err error) {
-		if err != nil {
-			panic(err)
+	log.SetFlags(0)
+	specs, err := machines.Testdata()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for name, src := range specs {
+		if err := os.WriteFile(filepath.Join("testdata", name), []byte(src), 0o644); err != nil {
+			log.Fatal(err)
 		}
 	}
-	must(os.WriteFile("testdata/counter.sim", []byte(machines.Counter()), 0o644))
-	tiny, err := machines.TinyComputer(machines.TinyDivideImage(47, 5))
-	must(err)
-	must(os.WriteFile("testdata/tinycpu.sim", []byte(tiny), 0o644))
-	sieve, err := machines.SieveSpec(20)
-	must(err)
-	must(os.WriteFile("testdata/sieve.sim", []byte(sieve), 0o644))
-	must(os.WriteFile("testdata/ibsm1986.sim", []byte(machines.IBSM1986()), 0o644))
 }
