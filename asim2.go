@@ -10,12 +10,15 @@
 //
 //	spec, err := asim2.ParseString("counter", src)
 //	m, err := asim2.NewMachine(spec, asim2.Compiled, asim2.Options{Output: os.Stdout})
-//	err = m.Run(1000)
+//	err = m.Run(1000)        // per-cycle path: traces, observers, hooks
+//	err = m.RunBatch(100000) // fused batch fast path when no hooks are attached
 //
 // Backends: Interp is the table-walking baseline (the original ASIM),
 // Compiled pre-compiles the specification to closures (the ASIM II
-// side of the thesis' Figure 5.1), Bytecode sits between them, and
-// the codegen packages emit stand-alone Go or Pascal simulators.
+// side of the thesis' Figure 5.1) and additionally fuses each cycle
+// into one specialized call for Machine.RunBatch, Bytecode sits
+// between them, and the codegen packages emit stand-alone Go or
+// Pascal simulators.
 package asim2
 
 //go:generate go run ./tools/gentestdata

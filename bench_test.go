@@ -47,6 +47,22 @@ func benchMachine(b *testing.B, spec *Spec, backend Backend) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
 }
 
+// benchMachineFused is benchMachine through Machine.RunBatch: with no
+// hooks attached and a CycleStepper backend, the whole batch runs on
+// the fused fast path.
+func benchMachineFused(b *testing.B, spec *Spec, backend Backend) {
+	b.Helper()
+	m, err := NewMachine(spec, backend, Options{Output: io.Discard})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if err := m.RunBatch(int64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+}
+
 // BenchmarkFigure51Sieve times one simulated cycle of the sieve
 // workload on every backend — the reproduction's core comparison.
 // The machine halts and spins after ~5.8k cycles; per-cycle cost in
@@ -59,6 +75,9 @@ func BenchmarkFigure51Sieve(b *testing.B) {
 			benchMachine(b, spec, backend)
 		})
 	}
+	b.Run("compiled-fused", func(b *testing.B) {
+		benchMachineFused(b, spec, Compiled)
+	})
 }
 
 // BenchmarkFigure51IBSM1986 times the thesis' own stack machine
@@ -70,27 +89,34 @@ func BenchmarkFigure51IBSM1986(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, backend := range Backends() {
-		b.Run(string(backend), func(b *testing.B) {
-			m, err := NewMachine(spec, backend, Options{Output: io.Discard})
+	run := func(b *testing.B, backend Backend, batch bool) {
+		m, err := NewMachine(spec, backend, Options{Output: io.Discard})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for done := int64(0); done < int64(b.N); {
+			chunk := int64(machines.IBSM1986Cycles)
+			if rest := int64(b.N) - done; rest < chunk {
+				chunk = rest
+			}
+			m.Reset()
+			if batch {
+				err = m.RunBatch(chunk)
+			} else {
+				err = m.Run(chunk)
+			}
 			if err != nil {
 				b.Fatal(err)
 			}
-			b.ResetTimer()
-			for done := int64(0); done < int64(b.N); {
-				chunk := int64(machines.IBSM1986Cycles)
-				if rest := int64(b.N) - done; rest < chunk {
-					chunk = rest
-				}
-				m.Reset()
-				if err := m.Run(chunk); err != nil {
-					b.Fatal(err)
-				}
-				done += chunk
-			}
-			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
-		})
+			done += chunk
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
 	}
+	for _, backend := range Backends() {
+		b.Run(string(backend), func(b *testing.B) { run(b, backend, false) })
+	}
+	b.Run("compiled-fused", func(b *testing.B) { run(b, Compiled, true) })
 }
 
 // BenchmarkCounter times the smallest machine, isolating per-cycle

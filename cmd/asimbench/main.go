@@ -1,0 +1,264 @@
+// Command asimbench runs the repository's standing benchmark set
+// outside `go test`: the Figure 5.1 single-machine comparison (every
+// backend plus the fused batch fast path) and the campaign scaling
+// fleet, with a built-in digest cross-check so a benchmark run that
+// silently diverges fails loudly instead of reporting a fast wrong
+// simulator. Results are written as a JSON trajectory file CI can
+// archive and diff between commits.
+//
+//	asimbench                       (full run, writes BENCH_fused.json)
+//	asimbench -short -o -           (CI-sized run, JSON to stdout)
+//	asimbench -workers 1,2,4,8,16   (campaign scaling worker counts)
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	asim2 "repro"
+	"repro/internal/campaign"
+	"repro/internal/machines"
+)
+
+// Result is one timed configuration.
+type Result struct {
+	Name       string  `json:"name"`
+	Cycles     int64   `json:"cycles"`
+	Seconds    float64 `json:"seconds"`
+	NsPerCycle float64 `json:"ns_per_cycle"`
+	CyclesPerS float64 `json:"cycles_per_s"`
+}
+
+// Report is the file-level JSON shape.
+type Report struct {
+	Go           string   `json:"go"`
+	GOMAXPROCS   int      `json:"gomaxprocs"`
+	Short        bool     `json:"short"`
+	FusedSpeedup float64  `json:"fused_speedup"` // compiled-fused vs compiled, sieve
+	Results      []Result `json:"results"`
+}
+
+func main() {
+	log.SetFlags(0)
+	short := flag.Bool("short", false, "CI-sized cycle budgets")
+	out := flag.String("o", "BENCH_fused.json", "output path for the JSON report, or - for stdout")
+	workers := flag.String("workers", "1,2,4,8", "comma-separated worker counts for campaign scaling")
+	flag.Parse()
+
+	perBackend := int64(2_000_000)
+	perFleetRun := int64(5545) // the Figure 5.1 workload length
+	fleetSize := 16
+	if *short {
+		perBackend = 100_000
+		fleetSize = 4
+	}
+
+	var rep Report
+	rep.Go = runtime.Version()
+	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.Short = *short
+
+	specs := []struct {
+		name       string
+		src        func() (string, error)
+		resetEvery int64 // Reset between chunks of this many cycles (0: free-running)
+	}{
+		{"sieve", func() (string, error) { return machines.SieveSpec(48) }, 0},
+		// The IBSM's program counter walks off the 133-word ROM shortly
+		// after cycle 5545, so it runs in Figure 5.1-length chunks.
+		{"ibsm1986", func() (string, error) { return machines.IBSM1986(), nil }, machines.IBSM1986Cycles},
+	}
+	backends := []asim2.Backend{asim2.Interp, asim2.Bytecode, asim2.Compiled}
+
+	var compiledNs, fusedNs float64
+	var sieveSpec *asim2.Spec
+	for _, s := range specs {
+		src, err := s.src()
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec, err := asim2.ParseString(s.name, src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if s.name == "sieve" {
+			sieveSpec = spec
+		}
+
+		// Digest cross-check before timing: every backend and both
+		// execution paths must reach bit-identical state, or the
+		// numbers below are measuring a broken simulator.
+		if err := crossCheck(spec, backends, s.resetEvery); err != nil {
+			log.Fatalf("%s: %v", s.name, err)
+		}
+
+		for _, b := range backends {
+			r, err := timeMachine(s.name+"/"+string(b), spec, b, perBackend, s.resetEvery, false)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep.Results = append(rep.Results, r)
+			if s.name == "sieve" && b == asim2.Compiled {
+				compiledNs = r.NsPerCycle
+			}
+		}
+		r, err := timeMachine(s.name+"/compiled-fused", spec, asim2.Compiled, perBackend, s.resetEvery, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Results = append(rep.Results, r)
+		if s.name == "sieve" {
+			fusedNs = r.NsPerCycle
+		}
+	}
+	if fusedNs > 0 {
+		rep.FusedSpeedup = compiledNs / fusedNs
+	}
+
+	// Campaign scaling: an identical-machine sieve fleet through the
+	// engine (which batches each chunk through RunBatch) at each
+	// worker count. Aggregate cycles/s is the fleet-throughput metric.
+	for _, ws := range strings.Split(*workers, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(ws))
+		if err != nil || w <= 0 {
+			log.Fatalf("bad -workers entry %q", ws)
+		}
+		eng := campaign.Engine{Workers: w}
+		runs := campaign.Fleet("sieve", sieveSpec, asim2.Compiled, fleetSize, perFleetRun)
+		start := time.Now()
+		results, err := eng.Execute(context.Background(), runs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sum := campaign.Summarize(results, time.Since(start))
+		if sum.Errors != 0 || sum.Divergences != 0 {
+			log.Fatalf("campaign workers=%d: %s", w, sum)
+		}
+		rep.Results = append(rep.Results, Result{
+			Name:       fmt.Sprintf("campaign/sieve/workers-%d", w),
+			Cycles:     sum.Cycles,
+			Seconds:    sum.ElapsedSec,
+			NsPerCycle: 1e9 / sum.CyclesPerSec,
+			CyclesPerS: sum.CyclesPerSec,
+		})
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rep.Results {
+		fmt.Fprintf(os.Stderr, "%-32s %10.1f ns/cycle %14.0f cycles/s\n", r.Name, r.NsPerCycle, r.CyclesPerS)
+	}
+	fmt.Fprintf(os.Stderr, "fused speedup (sieve): %.2fx\n", rep.FusedSpeedup)
+}
+
+// timeMachine runs one machine for a fixed cycle budget after a short
+// warmup, through Run or (batch) RunBatch, resetting every resetEvery
+// cycles when the workload demands it.
+func timeMachine(name string, spec *asim2.Spec, b asim2.Backend, cycles, resetEvery int64, batch bool) (Result, error) {
+	m, err := asim2.NewMachine(spec, b, asim2.Options{Output: io.Discard})
+	if err != nil {
+		return Result{}, err
+	}
+	drive := func(run func(int64) error, total int64) error {
+		chunk := resetEvery
+		if chunk <= 0 {
+			chunk = total
+		}
+		for done := int64(0); done < total; {
+			n := min(chunk, total-done)
+			if resetEvery > 0 {
+				m.Reset()
+			}
+			if err := run(n); err != nil {
+				return err
+			}
+			done += n
+		}
+		return nil
+	}
+	if err := drive(m.RunBatch, cycles/10); err != nil {
+		return Result{}, fmt.Errorf("%s warmup: %w", name, err)
+	}
+	run := m.Run
+	if batch {
+		run = m.RunBatch
+	}
+	start := time.Now()
+	if err := drive(run, cycles); err != nil {
+		return Result{}, fmt.Errorf("%s: %w", name, err)
+	}
+	sec := time.Since(start).Seconds()
+	return Result{
+		Name:       name,
+		Cycles:     cycles,
+		Seconds:    sec,
+		NsPerCycle: sec * 1e9 / float64(cycles),
+		CyclesPerS: float64(cycles) / sec,
+	}, nil
+}
+
+// crossCheck runs the spec a fixed number of cycles on every backend
+// through the per-cycle path, and on the compiled backend through the
+// fused batch path, and requires one common state digest.
+func crossCheck(spec *asim2.Spec, backends []asim2.Backend, resetEvery int64) error {
+	cycles := int64(8192)
+	if resetEvery > 0 && resetEvery < cycles {
+		cycles = resetEvery
+	}
+	digest := func(b asim2.Backend, batch bool) (string, error) {
+		m, err := asim2.NewMachine(spec, b, asim2.Options{Output: io.Discard})
+		if err != nil {
+			return "", err
+		}
+		run := m.Run
+		if batch {
+			run = m.RunBatch
+		}
+		if err := run(cycles); err != nil {
+			return "", err
+		}
+		return campaign.SnapshotDigest(m), nil
+	}
+	want, err := digest(backends[0], false)
+	if err != nil {
+		return err
+	}
+	for _, b := range backends[1:] {
+		got, err := digest(b, false)
+		if err != nil {
+			return err
+		}
+		if got != want {
+			return fmt.Errorf("digest divergence: %s=%s, %s=%s", backends[0], want, b, got)
+		}
+	}
+	got, err := digest(asim2.Compiled, true)
+	if err != nil {
+		return err
+	}
+	if got != want {
+		return fmt.Errorf("fused path digest divergence: per-cycle=%s fused=%s", want, got)
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package asim2
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// docSnippet is one fenced code block extracted from a markdown file.
+type docSnippet struct {
+	file string
+	line int // 1-based line of the opening fence
+	tag  string
+	src  string
+}
+
+// extractSnippets pulls every fenced code block out of a markdown
+// file, keyed by its info string (the text after the backticks).
+func extractSnippets(t *testing.T, path string) []docSnippet {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	var snips []docSnippet
+	var cur *docSnippet
+	var body []string
+	for i, line := range strings.Split(string(data), "\n") {
+		switch {
+		case cur == nil && strings.HasPrefix(line, "```") && len(line) > 3:
+			cur = &docSnippet{file: path, line: i + 1, tag: strings.TrimSpace(line[3:])}
+			body = body[:0]
+		case cur != nil && strings.HasPrefix(line, "```"):
+			cur.src = strings.Join(body, "\n") + "\n"
+			snips = append(snips, *cur)
+			cur = nil
+		case cur != nil:
+			body = append(body, line)
+		}
+	}
+	if cur != nil {
+		t.Fatalf("%s:%d: unterminated code fence", path, cur.line)
+	}
+	return snips
+}
+
+// TestDocSnippets keeps the documentation's specification examples
+// honest: every `asim` block in README.md and docs/LANGUAGE.md must
+// parse AND be in asimfmt-canonical form, and every `asim-modules`
+// block must parse through the module-dialect expander.
+func TestDocSnippets(t *testing.T) {
+	checked := 0
+	for _, path := range []string{"README.md", "docs/LANGUAGE.md"} {
+		for _, s := range extractSnippets(t, path) {
+			switch s.tag {
+			case "asim":
+				spec, err := core.ParseString(s.file, s.src)
+				if err != nil {
+					t.Errorf("%s:%d: asim snippet does not parse: %v", s.file, s.line, err)
+					continue
+				}
+				if canon := spec.AST.String(); canon != s.src {
+					t.Errorf("%s:%d: asim snippet is not asimfmt-canonical.\nhave:\n%s\nwant:\n%s",
+						s.file, s.line, s.src, canon)
+				}
+				checked++
+			case "asim-modules":
+				if _, err := core.ParseExtendedString(s.file, s.src); err != nil {
+					t.Errorf("%s:%d: asim-modules snippet does not parse: %v", s.file, s.line, err)
+				}
+				checked++
+			}
+		}
+	}
+	if checked < 4 {
+		t.Errorf("only %d spec snippets found across README.md and docs/LANGUAGE.md; extraction is likely broken", checked)
+	}
+}

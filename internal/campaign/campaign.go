@@ -141,13 +141,16 @@ func (e Engine) exec(ctx context.Context, idx int, r Run) Result {
 	if chunk <= 0 {
 		chunk = 4096
 	}
+	// Each chunk goes through the fused batch fast path when the run's
+	// machine supports it (compiled backend, no observers attached);
+	// fault runs attach after-commit hooks and fall back automatically.
 	for remaining := r.Cycles; remaining > 0; {
 		if err := ctx.Err(); err != nil {
 			res.Err = err
 			break
 		}
 		n := min(chunk, remaining)
-		if err := m.Run(n); err != nil {
+		if err := m.RunBatch(n); err != nil {
 			res.Err = err
 			break
 		}

@@ -39,12 +39,14 @@ type Options struct {
 	NoFold bool
 }
 
-// Compiled implements sim.Evaluator with pre-compiled closures.
+// Compiled implements sim.Evaluator with pre-compiled closures, and
+// sim.CycleStepper with a single fused per-cycle closure (fused.go).
 type Compiled struct {
 	info *sem.Info
 	opts Options
 	comb []combFn
 	mems []memFns
+	step stepFn
 }
 
 type memFns struct {
@@ -82,6 +84,7 @@ func NewWithOptions(info *sem.Info, opts Options) *Compiled {
 		}
 		c.mems = append(c.mems, fns)
 	}
+	c.buildStep()
 	return c
 }
 

@@ -1,0 +1,272 @@
+package compile
+
+// The fused fast path (sim.CycleStepper): one specialized closure per
+// cycle instead of a closure per operand per cycle.
+//
+// Profiling the per-component path shows the cycle cost is dominated
+// not by the arithmetic but by indirect closure calls for trivial
+// operands — a whole-component reference compiles to a one-line
+// closure (`return vals[slot]`) whose call overhead exceeds the load
+// it performs. The fused program therefore re-specializes every
+// component around operand descriptors: a constant, a whole slot load
+// or a masked field extract each become a branch of the inlinable
+// operand.load instead of an indirect call. Components with genuinely
+// compound operands (multi-part concatenations — rare) keep their
+// generic compiled closure. Memory input latches get the same
+// treatment, with each memory's ordinal burned into its fused latch.
+//
+// Comb/MemInputs keep the per-component closures, so the unfused path
+// still exists for comparison (and for Machine.step's hook-bearing
+// cycle); StepCycle runs the fused program. The two are bit-identical
+// by construction, and the cross-path equivalence tests enforce it.
+//
+// Under Options.NoFold the fused program degrades to a plain loop over
+// the generic per-component closures, so the ablation keeps measuring
+// §4.4's folding rather than the fusion.
+
+import (
+	"repro/internal/rtl/ast"
+	"repro/internal/sim"
+)
+
+// stepFn executes the evaluation half of one full cycle.
+type stepFn func(vals []int64, addr, data, opn []int64, cycle int64)
+
+// latchFn latches one memory's inputs into its ordinal position.
+type latchFn func(vals []int64, addr, data, opn []int64)
+
+// StepCycle implements sim.CycleStepper: one fused call evaluates
+// every combinational component in dependency order and latches every
+// memory's address/data/operation — bit-identical to Comb followed by
+// MemInputs.
+func (c *Compiled) StepCycle(vals []int64, addr, data, opn []int64, cycle int64) {
+	c.step(vals, addr, data, opn, cycle)
+}
+
+// operand is a specialized simple operand: a constant, a whole slot
+// load, or a masked field extract. Compound expressions do not get an
+// operand (see Compiled.operand); keeping them out holds load below
+// the inlining budget, which is the entire point.
+type operand struct {
+	slot  int
+	mask  uint32 // field selection mask (field extracts only)
+	from  uint8  // field low-bit position
+	field bool
+	cnst  bool
+	val   int64 // constant value
+}
+
+// load evaluates the operand against the value vector. It must stay
+// small enough to inline into the fused component closures.
+func (o *operand) load(vals []int64) int64 {
+	if o.cnst {
+		return o.val
+	}
+	v := vals[o.slot]
+	if o.field {
+		v = int64((uint32(v) & o.mask) >> o.from)
+	}
+	return v
+}
+
+// operand classifies an expression, reporting ok=false for compound
+// shapes that must stay on a generic closure.
+func (c *Compiled) operand(e *ast.Expr) (operand, bool) {
+	if v, ok := e.ConstValue(); ok {
+		return operand{cnst: true, val: v}, true
+	}
+	if len(e.Parts) == 1 {
+		if p, ok := e.Parts[0].(*ast.Ref); ok {
+			if p.Mode == ast.RefWhole {
+				return operand{slot: c.info.Slot[p.Name]}, true
+			}
+			return operand{
+				slot:  c.info.Slot[p.Name],
+				mask:  uint32(p.SelMask()),
+				from:  uint8(p.From),
+				field: true,
+			}, true
+		}
+	}
+	return operand{}, false
+}
+
+// buildStep builds the fused per-cycle closure StepCycle runs. Called
+// once at compile time, after c.comb and c.mems are populated.
+func (c *Compiled) buildStep() {
+	if c.opts.NoFold {
+		// Ablation mode: fuse nothing, just chain the generic paths.
+		c.step = func(vals []int64, addr, data, opn []int64, cycle int64) {
+			c.Comb(vals, cycle)
+			c.MemInputs(vals, addr, data, opn, cycle)
+		}
+		return
+	}
+	comb := make([]combFn, 0, len(c.comb))
+	ci := 0
+	for _, comp := range c.info.Comb {
+		generic := c.comb[ci]
+		ci++
+		var fn combFn
+		switch comp := comp.(type) {
+		case *ast.ALU:
+			fn = c.fuseALU(comp)
+		case *ast.Selector:
+			fn = c.fuseSelector(comp)
+		}
+		if fn == nil {
+			fn = generic
+		}
+		comb = append(comb, fn)
+	}
+	latches := make([]latchFn, len(c.info.Mems))
+	for i, m := range c.info.Mems {
+		latches[i] = c.fuseLatch(i, m)
+	}
+	c.step = func(vals []int64, addr, data, opn []int64, cycle int64) {
+		for _, fn := range comb {
+			fn(vals, cycle)
+		}
+		for _, fn := range latches {
+			fn(vals, addr, data, opn)
+		}
+	}
+}
+
+// fuseLatch specializes one memory's three input expressions into a
+// single closure with the memory's ordinal burned in, falling back to
+// the memory's generic compiled closures for compound operands.
+func (c *Compiled) fuseLatch(i int, m *ast.Memory) latchFn {
+	ao, aok := c.operand(&m.Addr)
+	do, dok := c.operand(&m.Data)
+	oo, ook := c.operand(&m.Opn)
+	if v, ok := m.Opn.ConstValue(); ok {
+		if op := v & 3; op == sim.OpRead || op == sim.OpInput {
+			do, dok = operand{cnst: true}, true // dead data latch
+		}
+	}
+	if !aok || !dok || !ook {
+		fns := c.mems[i]
+		return func(vals []int64, addr, data, opn []int64) {
+			addr[i] = fns.addr(vals)
+			data[i] = fns.data(vals)
+			opn[i] = fns.opn(vals)
+		}
+	}
+	return func(vals []int64, addr, data, opn []int64) {
+		addr[i] = ao.load(vals)
+		data[i] = do.load(vals)
+		opn[i] = oo.load(vals)
+	}
+}
+
+// fuseALU is compileALU with operand-direct loads: a constant function
+// operand selects the specific operation and both operands load
+// without an indirect call. It returns nil when an operand is
+// compound, keeping the component on its generic closure.
+func (c *Compiled) fuseALU(a *ast.ALU) combFn {
+	slot := c.info.Slot[a.Name]
+	lo, lok := c.operand(&a.Left)
+	ro, rok := c.operand(&a.Right)
+	if !lok || !rok {
+		return nil
+	}
+	if fv, ok := a.Funct.ConstValue(); ok {
+		switch fv {
+		case sim.FnZero, sim.FnUnused:
+			return func(vals []int64, _ int64) { vals[slot] = 0 }
+		case sim.FnRight:
+			return func(vals []int64, _ int64) { vals[slot] = ro.load(vals) }
+		case sim.FnLeft:
+			return func(vals []int64, _ int64) { vals[slot] = lo.load(vals) }
+		case sim.FnNot:
+			return func(vals []int64, _ int64) { vals[slot] = sim.Mask - lo.load(vals) }
+		case sim.FnAdd:
+			return func(vals []int64, _ int64) { vals[slot] = lo.load(vals) + ro.load(vals) }
+		case sim.FnSub:
+			return func(vals []int64, _ int64) { vals[slot] = lo.load(vals) - ro.load(vals) }
+		case sim.FnMul:
+			return func(vals []int64, _ int64) { vals[slot] = lo.load(vals) * ro.load(vals) }
+		case sim.FnAnd:
+			return func(vals []int64, _ int64) { vals[slot] = sim.Land(lo.load(vals), ro.load(vals)) }
+		case sim.FnOr:
+			return func(vals []int64, _ int64) {
+				l, r := lo.load(vals), ro.load(vals)
+				vals[slot] = l + r - sim.Land(l, r)
+			}
+		case sim.FnXor:
+			return func(vals []int64, _ int64) {
+				l, r := lo.load(vals), ro.load(vals)
+				vals[slot] = l + r - sim.Land(l, r)*2
+			}
+		case sim.FnEq:
+			return func(vals []int64, _ int64) {
+				if lo.load(vals) == ro.load(vals) {
+					vals[slot] = 1
+				} else {
+					vals[slot] = 0
+				}
+			}
+		case sim.FnLt:
+			return func(vals []int64, _ int64) {
+				if lo.load(vals) < ro.load(vals) {
+					vals[slot] = 1
+				} else {
+					vals[slot] = 0
+				}
+			}
+		default:
+			if fv == sim.FnShl {
+				return func(vals []int64, _ int64) {
+					vals[slot] = sim.DoLogic(sim.FnShl, lo.load(vals), ro.load(vals))
+				}
+			}
+			return func(vals []int64, _ int64) { vals[slot] = 0 }
+		}
+	}
+	fo, fok := c.operand(&a.Funct)
+	if !fok {
+		return nil
+	}
+	return func(vals []int64, _ int64) {
+		vals[slot] = sim.DoLogic(fo.load(vals), lo.load(vals), ro.load(vals))
+	}
+}
+
+// fuseSelector is compileSelector with the select expression and every
+// case lowered to operands, so the common whole-reference cases run
+// without an indirect call per cycle. It returns nil when any case or
+// the select expression is compound.
+func (c *Compiled) fuseSelector(s *ast.Selector) combFn {
+	slot := c.info.Slot[s.Name]
+	cases := make([]operand, len(s.Cases))
+	for i := range s.Cases {
+		o, ok := c.operand(&s.Cases[i])
+		if !ok {
+			return nil
+		}
+		cases[i] = o
+	}
+	n := int64(len(cases))
+	name := s.Name
+	if sv, ok := s.Select.ConstValue(); ok {
+		if sv >= 0 && sv < n {
+			co := cases[sv]
+			return func(vals []int64, _ int64) { vals[slot] = co.load(vals) }
+		}
+		return func(vals []int64, cycle int64) {
+			sim.Fail(name, cycle, "selector index %d outside 0..%d", sv, n-1)
+		}
+	}
+	so, ok := c.operand(&s.Select)
+	if !ok {
+		return nil
+	}
+	return func(vals []int64, cycle int64) {
+		idx := so.load(vals)
+		if idx < 0 || idx >= n {
+			sim.Fail(name, cycle, "selector index %d outside 0..%d", idx, n-1)
+		}
+		vals[slot] = cases[idx].load(vals)
+	}
+}

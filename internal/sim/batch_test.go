@@ -1,0 +1,231 @@
+package sim_test
+
+// Cross-path equivalence for the fused batch fast path: for every
+// backend, Machine.RunBatch must be observationally identical to the
+// per-cycle Machine.Run — same state digest, same statistics, same
+// error — on the canonical machines and on generated specifications,
+// and must fall back to the hook-bearing path whenever a trace writer,
+// observer or after-commit hook is attached.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/machines"
+	"repro/internal/sim"
+	"repro/internal/specgen"
+)
+
+// outcome is everything a run can observably produce.
+type outcome struct {
+	digest string
+	stats  sim.Stats
+	errstr string
+}
+
+func runOutcome(t *testing.T, spec *core.Spec, b core.Backend, cycles int64, batch bool) outcome {
+	t.Helper()
+	m, err := core.NewMachine(spec, b, core.Options{Output: io.Discard})
+	if err != nil {
+		t.Fatalf("backend %s: %v", b, err)
+	}
+	run := m.Run
+	if batch {
+		run = m.RunBatch
+	}
+	var errstr string
+	if err := run(cycles); err != nil {
+		errstr = err.Error()
+	}
+	return outcome{digest: campaign.SnapshotDigest(m), stats: m.Stats(), errstr: errstr}
+}
+
+// requireBatchEquivalence checks every backend × {Run, RunBatch}
+// against the interp/Run reference.
+func requireBatchEquivalence(t *testing.T, name, src string, cycles int64) {
+	t.Helper()
+	spec, err := core.ParseString(name, src)
+	if err != nil {
+		t.Fatalf("%s: parse: %v\n%s", name, err, src)
+	}
+	ref := runOutcome(t, spec, core.Interp, cycles, false)
+	for _, b := range core.Backends() {
+		for _, batch := range []bool{false, true} {
+			got := runOutcome(t, spec, b, cycles, batch)
+			label := fmt.Sprintf("%s/%s batch=%v", name, b, batch)
+			if got.digest != ref.digest {
+				t.Errorf("%s: digest %s, interp/Run has %s\nspec:\n%s", label, got.digest, ref.digest, src)
+			}
+			if got.errstr != ref.errstr {
+				t.Errorf("%s: err %q, interp/Run has %q", label, got.errstr, ref.errstr)
+			}
+			if !reflect.DeepEqual(got.stats, ref.stats) {
+				t.Errorf("%s: stats %+v, interp/Run has %+v", label, got.stats, ref.stats)
+			}
+		}
+	}
+}
+
+// TestRunBatchEquivalenceTestdata covers the canonical machines.
+func TestRunBatchEquivalenceTestdata(t *testing.T) {
+	td, err := machines.Testdata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range td {
+		t.Run(name, func(t *testing.T) {
+			requireBatchEquivalence(t, name, src, 2048)
+		})
+	}
+}
+
+// TestRunBatchEquivalenceRandom sweeps generated specifications, which
+// also exercise the runtime-error paths (selector faults, address
+// faults) through both execution paths.
+func TestRunBatchEquivalenceRandom(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 12
+	}
+	for seed := 0; seed < n; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(seed)))
+			src := specgen.Generate(rng, specgen.Config{
+				Combs: 1 + rng.Intn(16),
+				Mems:  1 + rng.Intn(4),
+			})
+			requireBatchEquivalence(t, fmt.Sprintf("seed%d", seed), src, 96)
+		})
+	}
+}
+
+// TestCompiledIsCycleStepper pins the capability: the compiled backend
+// (with and without folding) fuses, and RunBatch on a stepper-less
+// backend still works via the fallback.
+func TestCompiledIsCycleStepper(t *testing.T) {
+	spec, err := core.ParseString("c", "#c\nc .\nA c 1 0 1\n.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []core.Backend{core.Compiled, core.CompiledNoFold} {
+		ev, err := core.NewEvaluator(spec.Info, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := ev.(sim.CycleStepper); !ok {
+			t.Errorf("backend %s does not implement sim.CycleStepper", b)
+		}
+	}
+	ev, err := core.NewEvaluator(spec.Info, core.Interp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ev.(sim.CycleStepper); ok {
+		t.Errorf("interp unexpectedly implements sim.CycleStepper; the fallback test below is vacuous")
+	}
+	m, err := core.NewMachine(spec, core.Interp, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunBatch(16); err != nil {
+		t.Fatalf("RunBatch on stepper-less backend: %v", err)
+	}
+	if m.Cycle() != 16 {
+		t.Fatalf("cycle = %d, want 16", m.Cycle())
+	}
+}
+
+// TestRunBatchObserverFallback attaches each kind of hook and checks
+// RunBatch takes the per-cycle path: hooks fire every cycle and the
+// outcome still matches the hook-free fast path.
+func TestRunBatchObserverFallback(t *testing.T) {
+	src, err := machines.SieveSpec(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := core.ParseString("sieve", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cycles = 512
+
+	fast, err := core.NewMachine(spec, core.Compiled, core.Options{Output: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fast.RunBatch(cycles); err != nil {
+		t.Fatal(err)
+	}
+	want := campaign.SnapshotDigest(fast)
+
+	t.Run("observer", func(t *testing.T) {
+		m, err := core.NewMachine(spec, core.Compiled, core.Options{Output: io.Discard})
+		if err != nil {
+			t.Fatal(err)
+		}
+		calls := 0
+		m.Observe(func(*sim.Machine) { calls++ })
+		if err := m.RunBatch(cycles); err != nil {
+			t.Fatal(err)
+		}
+		if calls != cycles {
+			t.Errorf("observer fired %d times, want %d", calls, cycles)
+		}
+		if got := campaign.SnapshotDigest(m); got != want {
+			t.Errorf("digest %s, fast path has %s", got, want)
+		}
+	})
+
+	t.Run("after-commit", func(t *testing.T) {
+		m, err := core.NewMachine(spec, core.Compiled, core.Options{Output: io.Discard})
+		if err != nil {
+			t.Fatal(err)
+		}
+		calls := 0
+		m.AfterCommit(func(*sim.Machine) { calls++ })
+		if err := m.RunBatch(cycles); err != nil {
+			t.Fatal(err)
+		}
+		if calls != cycles {
+			t.Errorf("after-commit hook fired %d times, want %d", calls, cycles)
+		}
+		if got := campaign.SnapshotDigest(m); got != want {
+			t.Errorf("digest %s, fast path has %s", got, want)
+		}
+	})
+
+	t.Run("trace", func(t *testing.T) {
+		var viaRun, viaBatch bytes.Buffer
+		for _, tc := range []struct {
+			buf  *bytes.Buffer
+			name string
+		}{{&viaRun, "run"}, {&viaBatch, "batch"}} {
+			m, err := core.NewMachine(spec, core.Compiled, core.Options{Output: io.Discard, Trace: tc.buf})
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := m.Run
+			if tc.name == "batch" {
+				run = m.RunBatch
+			}
+			if err := run(cycles); err != nil {
+				t.Fatal(err)
+			}
+			if got := campaign.SnapshotDigest(m); got != want {
+				t.Errorf("%s digest %s, fast path has %s", tc.name, got, want)
+			}
+		}
+		if viaRun.Len() == 0 {
+			t.Fatal("trace produced no output; fallback test is vacuous")
+		}
+		if viaRun.String() != viaBatch.String() {
+			t.Error("RunBatch trace output differs from Run")
+		}
+	})
+}

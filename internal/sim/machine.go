@@ -50,6 +50,26 @@ type Evaluator interface {
 	MemInputs(vals []int64, addr, data, opn []int64, cycle int64)
 }
 
+// CycleStepper is an optional Evaluator capability: a backend that can
+// execute the evaluation half of an entire cycle — combinational
+// evaluation in dependency order followed by memory-input latching —
+// as one specialized call, with no per-component dispatch. Machine
+// memory commit, statistics and hooks stay with the Machine; the
+// stepper only replaces the Comb+MemInputs pair.
+//
+// A CycleStepper must be observationally identical to calling Comb
+// then MemInputs: Machine.RunBatch relies on the two paths producing
+// bit-identical state, and the equivalence tests enforce it.
+type CycleStepper interface {
+	Evaluator
+
+	// StepCycle evaluates one full cycle's combinational outputs into
+	// vals and latches every memory's addr/data/opn, exactly as
+	// Comb(vals, cycle) followed by MemInputs(vals, addr, data, opn,
+	// cycle) would.
+	StepCycle(vals []int64, addr, data, opn []int64, cycle int64)
+}
+
 // Options configures a Machine.
 type Options struct {
 	// Trace receives the per-cycle trace lines for '*'-marked signals
@@ -237,6 +257,29 @@ func (m *Machine) Run(n int64) (err error) {
 	return nil
 }
 
+// RunBatch executes n cycles through the fused fast path when it is
+// available: the evaluator implements CycleStepper and no trace writer,
+// observers or after-commit hooks are attached. The fast loop performs
+// one fused StepCycle call plus the memory commit per cycle, with every
+// hook check hoisted out of the loop; otherwise it falls back to the
+// per-cycle path. Both paths produce bit-identical machine state and
+// statistics, so callers may treat RunBatch as Run with the hook
+// checks amortized over the batch.
+func (m *Machine) RunBatch(n int64) (err error) {
+	stepper, ok := m.eval.(CycleStepper)
+	if !ok || m.tracer != nil || len(m.observers) > 0 || len(m.committers) > 0 {
+		return m.Run(n)
+	}
+	defer recoverRuntime(&err)
+	for i := int64(0); i < n; i++ {
+		stepper.StepCycle(m.vals, m.addr, m.data, m.opn, m.cycle)
+		m.commitMems()
+		m.cycle++
+		m.stats.Cycles++
+	}
+	return nil
+}
+
 // Step executes exactly one cycle.
 func (m *Machine) Step() (err error) {
 	defer recoverRuntime(&err)
@@ -289,6 +332,18 @@ func (m *Machine) step() {
 		o(m)
 	}
 
+	m.commitMems()
+
+	m.cycle++
+	m.stats.Cycles++
+	for _, o := range m.committers {
+		o(m)
+	}
+}
+
+// commitMems commits every memory's latched operation — the second
+// phase of a cycle, shared by the per-cycle and fused batch paths.
+func (m *Machine) commitMems() {
 	for i, mem := range m.info.Mems {
 		a, d, op := m.addr[i], m.data[i], m.opn[i]
 		arr := m.arrays[i]
@@ -331,12 +386,6 @@ func (m *Machine) step() {
 			}
 		}
 		m.vals[m.memSlot[i]] = temp
-	}
-
-	m.cycle++
-	m.stats.Cycles++
-	for _, o := range m.committers {
-		o(m)
 	}
 }
 
