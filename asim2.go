@@ -9,9 +9,14 @@
 // DESIGN.md for the module map):
 //
 //	spec, err := asim2.ParseString("counter", src)
-//	m, err := asim2.NewMachine(spec, asim2.Compiled, asim2.Options{Output: os.Stdout})
+//	prog, err := asim2.Compile(spec, asim2.Compiled) // compile once
+//	m := prog.NewMachine(asim2.Options{Output: os.Stdout})
 //	err = m.Run(1000)        // per-cycle path: traces, observers, hooks
 //	err = m.RunBatch(100000) // fused batch fast path when no hooks are attached
+//
+// Machines of one Program share its compiled evaluator; build fleets
+// with one Compile and many NewMachine calls. asim2.NewMachine(spec,
+// backend, opts) remains as a single-machine convenience wrapper.
 //
 // Backends: Interp is the table-walking baseline (the original ASIM),
 // Compiled pre-compiles the specification to closures (the ASIM II
@@ -32,6 +37,7 @@ import (
 // Re-exported types; see internal/core and internal/sim.
 type (
 	Spec         = core.Spec
+	Program      = core.Program
 	Machine      = core.Machine
 	Options      = core.Options
 	Backend      = core.Backend
@@ -60,7 +66,15 @@ func Parse(name string, r io.Reader) (*Spec, error) { return core.Parse(name, r)
 // ParseFile parses and analyzes a specification file.
 func ParseFile(path string) (*Spec, error) { return core.ParseFile(path) }
 
-// NewMachine builds a simulation machine for a parsed specification.
+// Compile builds the chosen backend's evaluator for a parsed
+// specification once, returning the immutable Program every machine of
+// a fleet can share (Program.NewMachine allocates only mutable state).
+func Compile(s *Spec, b Backend) (*Program, error) { return core.Compile(s, b) }
+
+// NewMachine builds a simulation machine for a parsed specification: a
+// convenience wrapper equivalent to Compile followed by
+// Program.NewMachine. Construct fleets through Compile instead, so the
+// compilation is paid once.
 func NewMachine(s *Spec, b Backend, opts Options) (*Machine, error) {
 	return core.NewMachine(s, b, opts)
 }

@@ -229,8 +229,12 @@ func BenchmarkCampaignScaling(b *testing.B) {
 	const perRun = int64(5545) // the same scale as Figure 5.1's 5545-cycle run
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			prog, err := core.Compile(spec, Compiled)
+			if err != nil {
+				b.Fatal(err)
+			}
 			eng := campaign.Engine{Workers: workers}
-			runs := campaign.Fleet("sieve", spec, Compiled, fleetSize, perRun)
+			runs := campaign.Fleet("sieve", prog, fleetSize, perRun)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				results, err := eng.Execute(context.Background(), runs)
@@ -244,6 +248,77 @@ func BenchmarkCampaignScaling(b *testing.B) {
 			b.ReportMetric(float64(int64(b.N)*fleetSize*perRun)/b.Elapsed().Seconds(), "cycles/s")
 		})
 	}
+}
+
+// BenchmarkFleetBuild is the Program/State split's tentpole
+// measurement: a fleet of short runs, where how a machine comes to
+// exist dominates how long it runs. One benchmark iteration is one
+// fleet member — a machine brought up and run for a short cycle
+// budget. The regimes:
+//
+//   - construct-per-run: compile + build per member (what the
+//     campaign layer did before the split);
+//   - compile-once: one shared Program, a fresh machine per member;
+//   - compile-once-pooled: one shared Program, one machine Reset
+//     between members (what pooled engine workers do);
+//   - engine-pooled: the real path — campaign.Fleet through
+//     Engine.Execute, amortized over the fleet.
+//
+// Run with -benchmem: the allocation gap is the point.
+func BenchmarkFleetBuild(b *testing.B) {
+	spec := sieveSpec(b)
+	const perRun = int64(256)
+	b.Run("construct-per-run", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m, err := NewMachine(spec, Compiled, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := m.RunBatch(perRun); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	prog, err := Compile(spec, Compiled)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("compile-once", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := prog.NewMachine(Options{}).RunBatch(perRun); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compile-once-pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		m := prog.NewMachine(Options{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Reset()
+			if err := m.RunBatch(perRun); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("engine-pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		const fleetSize = 64
+		eng := campaign.Engine{} // Workers = GOMAXPROCS
+		runs := campaign.Fleet("sieve-short", prog, fleetSize, perRun)
+		b.ResetTimer()
+		for done := 0; done < b.N; done += fleetSize {
+			results, err := eng.Execute(context.Background(), runs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sum := campaign.Summarize(results, 0); sum.Errors != 0 || sum.Divergences != 0 {
+				b.Fatalf("fleet summary: %+v", sum)
+			}
+		}
+	})
 }
 
 // BenchmarkISP times the instruction-set-level simulator (§1.2): the

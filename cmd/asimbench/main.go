@@ -1,10 +1,12 @@
 // Command asimbench runs the repository's standing benchmark set
 // outside `go test`: the Figure 5.1 single-machine comparison (every
-// backend plus the fused batch fast path) and the campaign scaling
-// fleet, with a built-in digest cross-check so a benchmark run that
-// silently diverges fails loudly instead of reporting a fast wrong
-// simulator. Results are written as a JSON trajectory file CI can
-// archive and diff between commits.
+// backend plus the fused batch fast path), the campaign scaling
+// fleet, and the fleet-build comparison (per-run construction vs
+// compile-once vs pooled machines, with allocation profiles), with a
+// built-in digest cross-check so a benchmark run that silently
+// diverges fails loudly instead of reporting a fast wrong simulator.
+// Results are written as a JSON trajectory file CI can archive and
+// diff between commits.
 //
 //	asimbench                       (full run, writes BENCH_fused.json)
 //	asimbench -short -o -           (CI-sized run, JSON to stdout)
@@ -36,15 +38,22 @@ type Result struct {
 	Seconds    float64 `json:"seconds"`
 	NsPerCycle float64 `json:"ns_per_cycle"`
 	CyclesPerS float64 `json:"cycles_per_s"`
+
+	// Fleet-build configurations additionally report run granularity
+	// and the allocation profile.
+	Runs         int     `json:"runs,omitempty"`
+	NsPerRun     float64 `json:"ns_per_run,omitempty"`
+	AllocsPerRun float64 `json:"allocs_per_run,omitempty"`
 }
 
 // Report is the file-level JSON shape.
 type Report struct {
-	Go           string   `json:"go"`
-	GOMAXPROCS   int      `json:"gomaxprocs"`
-	Short        bool     `json:"short"`
-	FusedSpeedup float64  `json:"fused_speedup"` // compiled-fused vs compiled, sieve
-	Results      []Result `json:"results"`
+	Go                string   `json:"go"`
+	GOMAXPROCS        int      `json:"gomaxprocs"`
+	Short             bool     `json:"short"`
+	FusedSpeedup      float64  `json:"fused_speedup"`      // compiled-fused vs compiled, sieve
+	FleetBuildSpeedup float64  `json:"fleetbuild_speedup"` // pooled vs per-run construction, short-run fleet
+	Results           []Result `json:"results"`
 }
 
 func main() {
@@ -124,6 +133,13 @@ func main() {
 		rep.FusedSpeedup = compiledNs / fusedNs
 	}
 
+	// The sieve compiled once: the campaign scaling fleet and the
+	// fleet-build comparison below both share this one program.
+	sieveProg, err := asim2.Compile(sieveSpec, asim2.Compiled)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// Campaign scaling: an identical-machine sieve fleet through the
 	// engine (which batches each chunk through RunBatch) at each
 	// worker count. Aggregate cycles/s is the fleet-throughput metric.
@@ -133,7 +149,7 @@ func main() {
 			log.Fatalf("bad -workers entry %q", ws)
 		}
 		eng := campaign.Engine{Workers: w}
-		runs := campaign.Fleet("sieve", sieveSpec, asim2.Compiled, fleetSize, perFleetRun)
+		runs := campaign.Fleet("sieve", sieveProg, fleetSize, perFleetRun)
 		start := time.Now()
 		results, err := eng.Execute(context.Background(), runs)
 		if err != nil {
@@ -152,6 +168,77 @@ func main() {
 		})
 	}
 
+	// Fleet build: many short runs, where how the machine comes to
+	// exist dominates how long it runs. The Program/State split's
+	// claim is the gap between the three regimes: compile per run
+	// (the old campaign behaviour), compile once and allocate a
+	// machine per run, and compile once with one Reset-reused machine
+	// (what pooled engine workers do).
+	fleetRuns := 512
+	perShortRun := int64(256)
+	if *short {
+		fleetRuns = 128
+	}
+	var perRunNs, pooledNs float64
+	{
+		r, err := timeRuns("fleetbuild/construct-per-run", fleetRuns, perShortRun, func() error {
+			m, err := asim2.NewMachine(sieveSpec, asim2.Compiled, asim2.Options{})
+			if err != nil {
+				return err
+			}
+			return m.RunBatch(perShortRun)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Results = append(rep.Results, r)
+		perRunNs = r.NsPerRun
+
+		r, err = timeRuns("fleetbuild/compile-once", fleetRuns, perShortRun, func() error {
+			return sieveProg.NewMachine(asim2.Options{}).RunBatch(perShortRun)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Results = append(rep.Results, r)
+
+		pooled := sieveProg.NewMachine(asim2.Options{})
+		r, err = timeRuns("fleetbuild/pooled", fleetRuns, perShortRun, func() error {
+			pooled.Reset()
+			return pooled.RunBatch(perShortRun)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Results = append(rep.Results, r)
+		pooledNs = r.NsPerRun
+
+		// The same comparison through the engine itself: one Execute
+		// over a fleet of short runs exercises the worker pools.
+		eng := campaign.Engine{Workers: rep.GOMAXPROCS}
+		runs := campaign.Fleet("sieve-short", sieveProg, fleetRuns, perShortRun)
+		r, err = timeRuns("fleetbuild/engine-pooled", 1, int64(fleetRuns)*perShortRun, func() error {
+			results, err := eng.Execute(context.Background(), runs)
+			if err != nil {
+				return err
+			}
+			if sum := campaign.Summarize(results, 0); sum.Errors != 0 || sum.Divergences != 0 {
+				return fmt.Errorf("fleet-build campaign: %s", sum)
+			}
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		r.Runs = fleetRuns
+		r.NsPerRun = r.Seconds * 1e9 / float64(fleetRuns)
+		r.AllocsPerRun /= float64(fleetRuns)
+		rep.Results = append(rep.Results, r)
+	}
+	if pooledNs > 0 {
+		rep.FleetBuildSpeedup = perRunNs / pooledNs
+	}
+
 	var w io.Writer = os.Stdout
 	if *out != "-" {
 		f, err := os.Create(*out)
@@ -167,9 +254,41 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, r := range rep.Results {
+		if r.Runs > 0 {
+			fmt.Fprintf(os.Stderr, "%-32s %10.0f ns/run   %12.1f allocs/run\n", r.Name, r.NsPerRun, r.AllocsPerRun)
+			continue
+		}
 		fmt.Fprintf(os.Stderr, "%-32s %10.1f ns/cycle %14.0f cycles/s\n", r.Name, r.NsPerCycle, r.CyclesPerS)
 	}
 	fmt.Fprintf(os.Stderr, "fused speedup (sieve): %.2fx\n", rep.FusedSpeedup)
+	fmt.Fprintf(os.Stderr, "fleet-build speedup (pooled vs per-run construction): %.2fx\n", rep.FleetBuildSpeedup)
+}
+
+// timeRuns times n invocations of run — each simulating perRun cycles
+// — and samples the allocation count across them, for the fleet-build
+// comparison where per-run construction cost is the measurement.
+func timeRuns(name string, n int, perRun int64, run func() error) (Result, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := run(); err != nil {
+			return Result{}, fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	sec := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	cycles := int64(n) * perRun
+	return Result{
+		Name:         name,
+		Cycles:       cycles,
+		Seconds:      sec,
+		NsPerCycle:   sec * 1e9 / float64(cycles),
+		CyclesPerS:   float64(cycles) / sec,
+		Runs:         n,
+		NsPerRun:     sec * 1e9 / float64(n),
+		AllocsPerRun: float64(after.Mallocs-before.Mallocs) / float64(n),
+	}, nil
 }
 
 // timeMachine runs one machine for a fixed cycle budget after a short

@@ -35,8 +35,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	mk := func() (*sim.Machine, error) {
-		return asim2.NewMachine(spec, asim2.Compiled, asim2.Options{})
+	// Compile once: every run of the campaign — golden and faulted —
+	// shares this one program, and the engine's workers pool machines
+	// built from it.
+	prog, err := asim2.Compile(spec, asim2.Compiled)
+	if err != nil {
+		log.Fatal(err)
 	}
 	digest := func(m *sim.Machine) string {
 		return fmt.Sprintf("q=%d r=%d", m.MemCell("memory", 32), m.MemCell("memory", 30))
@@ -57,7 +61,7 @@ func main() {
 	)
 
 	eng := campaign.Engine{Workers: *workers}
-	results, golden, err := campaign.RunFaults(context.Background(), eng, mk, 2000, digest, faults)
+	results, golden, err := campaign.RunFaults(context.Background(), eng, prog, 2000, digest, faults)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -67,7 +67,11 @@ type memOp struct {
 	addr, data, opn program
 }
 
-// VM implements sim.Evaluator by running lowered part-programs.
+// VM implements sim.Evaluator by running lowered part-programs. It is
+// stateless after construction — the part-programs are immutable and
+// the accumulator lives on the stack of each run call — so one VM may
+// be shared by any number of machines and goroutines (the
+// sim.Evaluator contract).
 type VM struct {
 	comb []combOp
 	mems []memOp

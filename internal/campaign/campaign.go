@@ -10,10 +10,19 @@
 // at a time but a fleet of them, with results that are deterministic —
 // byte-identical regardless of worker count — because every Result is
 // stored at its Run's index and all timing lives in the Summary.
+//
+// The same argument shapes how machines come to exist here: a Run
+// references a core.Program — the spec compiled once — and the
+// engine's workers pool and Reset-reuse machines between runs, so a
+// fleet pays for compilation once and for machine state a handful of
+// times, never per run. Fault campaigns additionally warm-start every
+// run from a shared golden-prefix snapshot (WarmStart) instead of
+// re-simulating the cycles before the first fault can act.
 package campaign
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -21,12 +30,17 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
-// Run is one unit of campaign work: build a machine, run it for a
-// cycle budget, digest the outcome.
+// Run is one unit of campaign work: a compiled program, a cycle
+// budget, and how to digest the outcome. Runs reference a shared
+// immutable Program instead of building machines themselves — the
+// engine's workers own the machines, pooling and Reset-reusing them
+// between runs, so a thousand-member fleet compiles its specification
+// once and allocates a handful of machines, not a thousand.
 type Run struct {
 	// Name identifies the run in results and reports.
 	Name string
@@ -38,19 +52,40 @@ type Run struct {
 	// of its group. Empty means ungrouped.
 	Group string
 
-	// Make builds a fresh machine. It is called on a worker goroutine,
-	// so it must not share mutable state with other runs.
-	Make func() (*sim.Machine, error)
+	// Program is the compiled specification the run executes. Programs
+	// are immutable and share freely across runs and workers; every
+	// standard constructor (Fleet, BackendFleet, Sweep, FaultRuns)
+	// compiles once per spec×backend and references the result from
+	// every run.
+	Program *core.Program
+
+	// Opts configures the run's machine. The zero value — no tracing,
+	// no I/O — is the poolable case: workers Reset-reuse one machine
+	// per program. Any non-zero Options forces a fresh machine for the
+	// run, since writers and readers carry cross-run state.
+	Opts core.Options
 
 	// Cycles is the run's cycle budget.
 	Cycles int64
 
 	// Digest reduces the final machine state to a comparable string.
-	// nil uses SnapshotDigest.
+	// nil uses the allocation-free architectural-state digest, which
+	// has the same equal-iff-equal-state property as SnapshotDigest.
 	Digest func(*sim.Machine) string
 
-	// Faults are injected before the run starts.
+	// Faults are injected before the run starts. The worker detaches
+	// the injector's hooks afterwards, so faults never leak into the
+	// next run on a pooled machine.
 	Faults []fault.Fault
+
+	// Warm, when non-nil, seeds the run from a shared lazily-computed
+	// snapshot instead of power-on state: the machine restores the
+	// snapshot and only the remaining Cycles execute. The WarmStart
+	// must belong to the run's Program, and only applies to runs with
+	// zero Opts — a snapshot does not capture an input stream's
+	// position, so runs with I/O attached cold-start. FaultRuns uses
+	// it to simulate a campaign's shared golden prefix exactly once.
+	Warm *WarmStart
 }
 
 // Result is the outcome of one Run. Results carry no wall-clock
@@ -66,7 +101,11 @@ type Result struct {
 	Err       error     // build error, runtime error, or ctx.Err() if cancelled
 }
 
-// Engine executes campaigns across a worker pool.
+// Engine executes campaigns across a worker pool. Each worker keeps a
+// pool of one machine per program, Reset-reusing it between runs, so
+// the steady-state cost of a run is its simulated cycles — no
+// compilation and (for hook-free runs) no per-run allocation beyond
+// the result's digest string and statistics.
 type Engine struct {
 	// Workers is the number of worker goroutines; <= 0 means
 	// runtime.GOMAXPROCS(0).
@@ -98,43 +137,98 @@ func (e Engine) Execute(ctx context.Context, runs []Run) ([]Result, error) {
 
 	jobs := make(chan int)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for n := 0; n < workers; n++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			w := &worker{pool: make(map[*core.Program]*sim.Machine)}
 			for i := range jobs {
-				results[i] = e.exec(ctx, i, runs[i])
+				results[i] = e.exec(ctx, w, i, runs[i])
 			}
 		}()
 	}
-	// Dispatch every index: once ctx is cancelled, exec returns
-	// immediately, so the queue drains without running anything more.
-	for i := range runs {
-		jobs <- i
+	// Dispatch until the context is cancelled; the runs never handed
+	// to a worker are marked cancelled directly below instead of being
+	// funnelled through the channel one by one.
+	next := 0
+dispatch:
+	for ; next < len(runs); next++ {
+		select {
+		case jobs <- next:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	for i := next; i < len(runs); i++ {
+		results[i] = Result{Index: i, Name: runs[i].Name, Group: runs[i].Group, Err: ctx.Err()}
+	}
 	return results, ctx.Err()
 }
 
+// worker is one goroutine's execution context: the per-program
+// machine pool.
+type worker struct {
+	pool map[*core.Program]*sim.Machine
+}
+
+// machine returns a machine for the run: the worker's pooled machine
+// for the program (Reset to power-on state) when the run's Options
+// are zero, a fresh single-use machine otherwise.
+func (w *worker) machine(r Run) *sim.Machine {
+	if r.Opts != (core.Options{}) {
+		return r.Program.NewMachine(r.Opts)
+	}
+	if m := w.pool[r.Program]; m != nil {
+		m.Reset()
+		return m
+	}
+	m := r.Program.NewMachine(core.Options{})
+	w.pool[r.Program] = m
+	return m
+}
+
 // exec performs one run on the calling goroutine.
-func (e Engine) exec(ctx context.Context, idx int, r Run) Result {
+func (e Engine) exec(ctx context.Context, w *worker, idx int, r Run) Result {
 	res := Result{Index: idx, Name: r.Name, Group: r.Group}
 	if err := ctx.Err(); err != nil {
 		res.Err = err
 		return res
 	}
-	m, err := r.Make()
-	if err != nil {
-		res.Err = err
+	if r.Program == nil {
+		res.Err = errors.New("campaign: run has no program")
 		return res
 	}
+	m := w.machine(r)
+
+	// Warm start: restore the shared snapshot instead of simulating
+	// the prefix. Only zero-Options runs are eligible — a snapshot
+	// does not capture an input stream's position or the prefix's
+	// trace output, so a run with I/O attached must simulate its own
+	// prefix. Any other failure — a prefix that itself hits a runtime
+	// error, a WarmStart misattached to a different program — likewise
+	// degrades to a cold start, which is always correct (the run just
+	// re-simulates the prefix, reproducing any error itself).
+	var warmed int64
+	if r.Warm != nil && r.Warm.program == r.Program && r.Opts == (core.Options{}) {
+		if st, cycles, err := r.Warm.snapshot(); err == nil && cycles > 0 && cycles <= r.Cycles {
+			if m.RestoreState(st) == nil {
+				warmed = cycles
+			}
+		}
+	}
+
 	var inj *fault.Injector
 	if len(r.Faults) > 0 {
+		var err error
 		if inj, err = fault.Inject(m, r.Faults...); err != nil {
 			res.Err = err
 			return res
 		}
+		// The injector's after-commit hook must not survive into the
+		// next run on this pooled machine.
+		defer m.ClearHooks()
 	}
 
 	chunk := e.Chunk
@@ -144,7 +238,7 @@ func (e Engine) exec(ctx context.Context, idx int, r Run) Result {
 	// Each chunk goes through the fused batch fast path when the run's
 	// machine supports it (compiled backend, no observers attached);
 	// fault runs attach after-commit hooks and fall back automatically.
-	for remaining := r.Cycles; remaining > 0; {
+	for remaining := r.Cycles - warmed; remaining > 0; {
 		if err := ctx.Err(); err != nil {
 			res.Err = err
 			break
@@ -165,18 +259,36 @@ func (e Engine) exec(ctx context.Context, idx int, r Run) Result {
 	// A runtime error is a run *outcome* (fault campaigns count on
 	// it), not a campaign failure; the digest of whatever state the
 	// machine reached is still comparable.
-	digest := r.Digest
-	if digest == nil {
-		digest = SnapshotDigest
+	if r.Digest != nil {
+		res.Digest = r.Digest(m)
+	} else {
+		res.Digest = archDigest(m)
 	}
-	res.Digest = digest(m)
 	return res
 }
 
-// SnapshotDigest hashes the machine's complete state — every component
-// output and every memory array — into a short hex string. It is the
-// default Run digest: two machines agree iff their architectures
-// reached identical state.
+// archDigest hashes the machine's architectural state (value vector
+// and memory arrays) into a short hex string with the same
+// equal-iff-equal-state property as SnapshotDigest, but without
+// building the name-keyed snapshot: the only allocation is the
+// returned string.
+func archDigest(m *sim.Machine) string {
+	h := m.ArchHash()
+	const hexdigits = "0123456789abcdef"
+	var out [16]byte
+	for i := 15; i >= 0; i-- {
+		out[i] = hexdigits[h&0xf]
+		h >>= 4
+	}
+	return string(out[:])
+}
+
+// SnapshotDigest hashes the machine's complete architectural state —
+// every component output and every memory array — into a short hex
+// string: two machines agree iff they reached identical state. Runs
+// default to the cheaper archDigest (same property, no snapshot map);
+// SnapshotDigest remains the explicit, name-keyed form external
+// drivers cross-check with.
 func SnapshotDigest(m *sim.Machine) string {
 	snap := m.Snapshot()
 	keys := make([]string, 0, len(snap))

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -15,9 +16,9 @@ import (
 	"repro/internal/specgen"
 )
 
-func sieveFleet(t *testing.T, n int, cycles int64) []Run {
+func sieveProgram(t *testing.T, size int, b core.Backend) *core.Program {
 	t.Helper()
-	src, err := machines.SieveSpec(20)
+	src, err := machines.SieveSpec(size)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +26,33 @@ func sieveFleet(t *testing.T, n int, cycles int64) []Run {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return Fleet("sieve", spec, core.Compiled, n, cycles)
+	p, err := core.Compile(spec, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func sieveFleet(t *testing.T, n int, cycles int64) []Run {
+	t.Helper()
+	return Fleet("sieve", sieveProgram(t, 20, core.Compiled), n, cycles)
+}
+
+func tinyDivideProgram(t *testing.T) *core.Program {
+	t.Helper()
+	src, err := machines.TinyComputer(machines.TinyDivideImage(47, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := core.ParseString("tiny", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Compile(spec, core.Compiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
 }
 
 // TestWorkerCountInvariance is the engine's core contract: the same
@@ -80,33 +107,28 @@ func TestCancelBeforeStart(t *testing.T) {
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
-	for _, r := range results {
+	for i, r := range results {
 		if !errors.Is(r.Err, context.Canceled) {
 			t.Errorf("run %s: err = %v", r.Name, r.Err)
 		}
 		if r.Cycles != 0 {
 			t.Errorf("run %s executed %d cycles after cancellation", r.Name, r.Cycles)
 		}
+		if r.Index != i || r.Name != runs[i].Name || r.Group != runs[i].Group {
+			t.Errorf("result %d mislabelled: %+v", i, r)
+		}
 	}
 }
 
 // TestCancelMidCampaign cancels while workers are inside long runs:
-// the engine must stop promptly (chunked cancellation checks), leave
-// interrupted runs marked with the context error, and keep whatever
-// completed before the cancellation.
+// the engine must stop promptly (chunked cancellation checks inside a
+// run, direct marking of never-dispatched runs) and leave every run
+// labelled with the context error.
 func TestCancelMidCampaign(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
-	started := make(chan struct{}, 64)
 	runs := sieveFleet(t, 8, 1<<40) // far beyond any real budget
-	for i := range runs {
-		mk := runs[i].Make
-		runs[i].Make = func() (*sim.Machine, error) {
-			started <- struct{}{}
-			return mk()
-		}
-	}
 	go func() {
-		<-started
+		time.Sleep(50 * time.Millisecond)
 		cancel()
 	}()
 	done := make(chan struct{})
@@ -124,14 +146,16 @@ func TestCancelMidCampaign(t *testing.T) {
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
-	interrupted := 0
-	for _, r := range results {
-		if errors.Is(r.Err, context.Canceled) {
-			interrupted++
+	// No run can complete 2^40 cycles, so every result — mid-run
+	// interrupted, dequeued-after-cancel, or never dispatched — must
+	// carry the cancellation and its run's identity.
+	for i, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("run %d: err = %v, want context.Canceled", i, r.Err)
 		}
-	}
-	if interrupted == 0 {
-		t.Error("no run recorded the cancellation")
+		if r.Index != i || r.Name != runs[i].Name {
+			t.Errorf("result %d mislabelled: %+v", i, r)
+		}
 	}
 }
 
@@ -143,14 +167,7 @@ func TestFaultCampaignParallel(t *testing.T) {
 	if !ok {
 		t.Fatal("scenario not registered")
 	}
-	src, err := machines.TinyComputer(machines.TinyDivideImage(47, 5))
-	if err != nil {
-		t.Fatal(err)
-	}
-	spec, err := core.ParseString("tiny", src)
-	if err != nil {
-		t.Fatal(err)
-	}
+	prog := tinyDivideProgram(t)
 	digest := func(m *sim.Machine) string {
 		return fmt.Sprintf("q=%d r=%d", m.MemCell("memory", 32), m.MemCell("memory", 30))
 	}
@@ -165,7 +182,7 @@ func TestFaultCampaignParallel(t *testing.T) {
 	}
 	wantFailed := []bool{true, false, true}
 	results, golden, err := RunFaults(context.Background(), Engine{Workers: 8},
-		machineMaker(spec, core.Compiled), 2000, digest, faults)
+		prog, 2000, digest, faults)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +200,7 @@ func TestFaultCampaignParallel(t *testing.T) {
 
 	// A misconfigured fault (unknown component) is a campaign setup
 	// error, not a corruption finding.
-	if _, _, err := RunFaults(context.Background(), Engine{}, machineMaker(spec, core.Compiled), 100, digest,
+	if _, _, err := RunFaults(context.Background(), Engine{}, prog, 100, digest,
 		[]fault.Fault{{Component: "no-such-reg", Bit: 0, Kind: fault.StuckAt1, From: 0, Until: 10}}); err == nil {
 		t.Error("invalid fault accepted as campaign outcome")
 	}
@@ -201,6 +218,150 @@ func TestFaultCampaignParallel(t *testing.T) {
 	sum := Summarize(res, time.Millisecond)
 	if sum.Divergences == 0 || sum.FaultRuns != len(runs)-1 {
 		t.Errorf("scenario summary: %+v", sum)
+	}
+}
+
+// TestFaultWarmStartByteIdentical is the warm-start acceptance
+// criterion: a fault campaign whose runs restore the shared
+// golden-prefix snapshot must produce byte-identical Results to the
+// same campaign cold-starting every run.
+func TestFaultWarmStartByteIdentical(t *testing.T) {
+	prog := tinyDivideProgram(t)
+	digest := func(m *sim.Machine) string {
+		return fmt.Sprintf("q=%d r=%d", m.MemCell("memory", 32), m.MemCell("memory", 30))
+	}
+	var faults []fault.Fault
+	for bit := 0; bit < 6; bit++ {
+		for _, cyc := range []int64{43, 155, 299} {
+			faults = append(faults, fault.Fault{Component: "ac", Bit: bit, Kind: fault.Flip, From: cyc})
+		}
+	}
+	faults = append(faults,
+		fault.Fault{Component: "borrow", Bit: 0, Kind: fault.StuckAt1, From: 60, Until: 1 << 30},
+		fault.Fault{Component: "pc", Bit: 3, Kind: fault.Flip, From: 200},
+	)
+
+	warm := FaultRuns("tiny-divide", prog, 2000, digest, faults)
+	if warm[0].Warm == nil {
+		t.Fatal("FaultRuns built no warm start")
+	}
+	if got, want := warm[0].Warm.cycles, int64(42); got != want {
+		t.Errorf("golden prefix = %d cycles, want %d (earliest fault at 43)", got, want)
+	}
+	cold := FaultRuns("tiny-divide", prog, 2000, digest, faults)
+	for i := range cold {
+		cold[i].Warm = nil
+	}
+
+	for _, workers := range []int{1, 4} {
+		eng := Engine{Workers: workers}
+		warmRes, err := eng.Execute(context.Background(), warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coldRes, err := eng.Execute(context.Background(), cold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(warmRes, coldRes) {
+			for i := range warmRes {
+				if !reflect.DeepEqual(warmRes[i], coldRes[i]) {
+					t.Errorf("workers=%d: run %d diverges:\nwarm: %+v\ncold: %+v",
+						workers, i, warmRes[i], coldRes[i])
+				}
+			}
+		}
+	}
+}
+
+// TestWarmStartPrefixChoice pins warmStartForFaults' prefix logic:
+// the prefix must stop short of the earliest cycle any fault can act
+// on, and collapse to nil when that leaves nothing.
+func TestWarmStartPrefixChoice(t *testing.T) {
+	prog := tinyDivideProgram(t)
+	cases := []struct {
+		name   string
+		faults []fault.Fault
+		cycles int64
+		want   int64 // 0 means nil
+	}{
+		{"late-flip", []fault.Fault{{Component: "ac", Kind: fault.Flip, From: 500}}, 2000, 499},
+		{"mixed", []fault.Fault{
+			{Component: "ac", Kind: fault.Flip, From: 500},
+			{Component: "ac", Kind: fault.StuckAt1, From: 40, Until: 400},
+		}, 2000, 39},
+		{"from-zero", []fault.Fault{{Component: "ac", Kind: fault.StuckAt1, From: 0, Until: 10}}, 2000, 0},
+		{"from-one", []fault.Fault{{Component: "ac", Kind: fault.Flip, From: 1}}, 2000, 0},
+		{"beyond-budget", []fault.Fault{{Component: "ac", Kind: fault.Flip, From: 5000}}, 2000, 2000},
+		{"no-faults", nil, 2000, 2000},
+	}
+	for _, tc := range cases {
+		ws := warmStartForFaults(prog, tc.cycles, tc.faults)
+		switch {
+		case tc.want == 0 && ws != nil:
+			t.Errorf("%s: prefix = %d, want none", tc.name, ws.cycles)
+		case tc.want != 0 && ws == nil:
+			t.Errorf("%s: no warm start, want prefix %d", tc.name, tc.want)
+		case tc.want != 0 && ws.cycles != tc.want:
+			t.Errorf("%s: prefix = %d, want %d", tc.name, ws.cycles, tc.want)
+		}
+	}
+}
+
+// TestPooledFleetAllocs is the compile-once allocation regression
+// test: once a worker's pooled machine exists, each additional fleet
+// run costs only its result bookkeeping (the digest string and the
+// caller-owned stats copy) — a handful of small allocations, not a
+// machine build. The budget below fails loudly if per-run machine
+// construction ever sneaks back into the engine.
+func TestPooledFleetAllocs(t *testing.T) {
+	prog := sieveProgram(t, 20, core.Compiled)
+	const fleetSize = 64
+	runs := Fleet("sieve", prog, fleetSize, 300)
+	eng := Engine{Workers: 1}
+	ctx := context.Background()
+
+	allocs := testing.AllocsPerRun(5, func() {
+		results, err := eng.Execute(ctx, runs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[fleetSize-1].Cycles != 300 {
+			t.Fatal("fleet did not run")
+		}
+	})
+	perRun := allocs / fleetSize
+	// One machine build per campaign plus ~3 small allocations per run
+	// (digest string, stats copy, engine bookkeeping), amortized. A
+	// per-run machine build would cost dozens.
+	if perRun > 8 {
+		t.Errorf("pooled fleet allocates %.1f objects per run (%.0f per campaign), want ~0", perRun, allocs)
+	}
+}
+
+// TestPerRunOptionsNotPooled: a run with non-zero Options gets a
+// fresh machine (writers carry cross-run state), and its hooks and
+// state never leak into pooled runs of the same program.
+func TestPerRunOptionsNotPooled(t *testing.T) {
+	prog := sieveProgram(t, 20, core.Compiled)
+	var buf bytes.Buffer
+	runs := []Run{
+		{Name: "traced", Program: prog, Opts: core.Options{Trace: &buf}, Cycles: 50},
+		{Name: "pooled-a", Group: "g", Program: prog, Cycles: 50},
+		{Name: "pooled-b", Group: "g", Program: prog, Cycles: 50},
+	}
+	results, err := Engine{Workers: 1}.Execute(context.Background(), runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("traced run produced no trace")
+	}
+	if results[1].Digest != results[2].Digest {
+		t.Errorf("identical pooled runs diverge: %s != %s", results[1].Digest, results[2].Digest)
+	}
+	if results[0].Digest != results[1].Digest {
+		t.Errorf("traced and pooled runs of one program diverge: %s != %s", results[0].Digest, results[1].Digest)
 	}
 }
 
@@ -244,23 +405,33 @@ func TestScenarioRegistry(t *testing.T) {
 }
 
 // TestSnapshotDigest: distinct state must digest differently, equal
-// state identically.
+// state identically — for both the name-keyed SnapshotDigest and the
+// engine's default architectural digest.
 func TestSnapshotDigest(t *testing.T) {
 	spec, err := core.ParseString("counter", machines.Counter())
 	if err != nil {
 		t.Fatal(err)
 	}
-	mk := machineMaker(spec, core.Compiled)
-	a, _ := mk()
-	b, _ := mk()
+	prog, err := core.Compile(spec, core.Compiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := prog.NewMachine(core.Options{})
+	b := prog.NewMachine(core.Options{})
 	if SnapshotDigest(a) != SnapshotDigest(b) {
 		t.Error("fresh machines digest differently")
+	}
+	if archDigest(a) != archDigest(b) {
+		t.Error("fresh machines arch-digest differently")
 	}
 	if err := a.Run(3); err != nil {
 		t.Fatal(err)
 	}
 	if SnapshotDigest(a) == SnapshotDigest(b) {
 		t.Error("diverged machines digest identically")
+	}
+	if archDigest(a) == archDigest(b) {
+		t.Error("diverged machines arch-digest identically")
 	}
 }
 
@@ -270,15 +441,14 @@ func TestEngineEmptyAndDefaults(t *testing.T) {
 	if err != nil || len(results) != 0 {
 		t.Fatalf("empty campaign: %v, %v", results, err)
 	}
-	// A build error is a per-run outcome, not a campaign abort.
-	runs := []Run{{Name: "broken", Make: func() (*sim.Machine, error) {
-		return nil, errors.New("boom")
-	}}}
+	// A run without a program is a per-run outcome, not a campaign
+	// abort.
+	runs := []Run{{Name: "broken"}}
 	results, err = Engine{}.Execute(context.Background(), runs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if results[0].Err == nil {
-		t.Error("build error not recorded")
+		t.Error("missing program not recorded as run error")
 	}
 }

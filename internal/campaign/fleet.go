@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -11,37 +12,44 @@ import (
 	"repro/internal/specgen"
 )
 
-// Fleet builds n identical runs of one analyzed spec — the throughput
-// workload. All members share one comparison group: a fleet of
-// identical deterministic machines must agree, so any divergence in
-// the summary flags a simulator bug.
-func Fleet(name string, spec *core.Spec, backend core.Backend, n int, cycles int64) []Run {
+// Fleet builds n identical runs of one compiled program — the
+// throughput workload. The program is shared by reference: the fleet
+// pays for compilation once, and the engine's workers reuse pooled
+// machines across members. All members share one comparison group: a
+// fleet of identical deterministic machines must agree, so any
+// divergence in the summary flags a simulator bug.
+func Fleet(name string, p *core.Program, n int, cycles int64) []Run {
 	runs := make([]Run, n)
 	for i := range runs {
 		runs[i] = Run{
-			Name:   fmt.Sprintf("%s#%d", name, i),
-			Group:  name,
-			Make:   machineMaker(spec, backend),
-			Cycles: cycles,
+			Name:    fmt.Sprintf("%s#%d", name, i),
+			Group:   name,
+			Program: p,
+			Cycles:  cycles,
 		}
 	}
 	return runs
 }
 
-// BackendFleet builds one run per backend over the same spec, all in
-// one comparison group — §2.3.2's multi-level verification as a
-// campaign: every backend must reach bit-identical state.
-func BackendFleet(name string, spec *core.Spec, backends []core.Backend, cycles int64) []Run {
+// BackendFleet compiles the spec once per backend and builds one run
+// each, all in one comparison group — §2.3.2's multi-level
+// verification as a campaign: every backend must reach bit-identical
+// state.
+func BackendFleet(name string, spec *core.Spec, backends []core.Backend, cycles int64) ([]Run, error) {
 	runs := make([]Run, len(backends))
 	for i, b := range backends {
+		p, err := core.Compile(spec, b)
+		if err != nil {
+			return nil, fmt.Errorf("fleet %s: %v", name, err)
+		}
 		runs[i] = Run{
-			Name:   fmt.Sprintf("%s/%s", name, b),
-			Group:  name,
-			Make:   machineMaker(spec, b),
-			Cycles: cycles,
+			Name:    fmt.Sprintf("%s/%s", name, b),
+			Group:   name,
+			Program: p,
+			Cycles:  cycles,
 		}
 	}
-	return runs
+	return runs, nil
 }
 
 // Sweep generates n random specifications (seeds seed..seed+n-1, via
@@ -57,29 +65,101 @@ func Sweep(cfg specgen.Config, backends []core.Backend, seed int64, n int, cycle
 		if err != nil {
 			return nil, fmt.Errorf("sweep: seed %d: %v", s, err)
 		}
-		runs = append(runs, BackendFleet(name, spec, backends, cycles)...)
+		group, err := BackendFleet(name, spec, backends, cycles)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: seed %d: %v", s, err)
+		}
+		runs = append(runs, group...)
 	}
 	return runs, nil
+}
+
+// WarmStart is a lazily-computed shared snapshot a set of runs starts
+// from. The first worker to need it simulates the program's fault-free
+// prefix once and snapshots the state; every run thereafter restores
+// the snapshot instead of re-simulating those cycles. A prefix that
+// itself fails (a runtime error before the snapshot point) poisons the
+// warm start, and every run degrades to an equivalent cold start.
+type WarmStart struct {
+	program *core.Program
+	cycles  int64
+
+	once  sync.Once
+	state []byte
+	err   error
+}
+
+// NewWarmStart prepares a warm start at cycles cycles of the program's
+// fault-free execution. Nothing is simulated until a run first needs
+// the snapshot.
+func NewWarmStart(p *core.Program, cycles int64) *WarmStart {
+	return &WarmStart{program: p, cycles: cycles}
+}
+
+// snapshot simulates the prefix on first use and returns the shared
+// state, the number of cycles it covers, and the prefix error if the
+// simulation failed.
+func (ws *WarmStart) snapshot() ([]byte, int64, error) {
+	ws.once.Do(func() {
+		m := ws.program.NewMachine(core.Options{})
+		if err := m.RunBatch(ws.cycles); err != nil {
+			ws.err = err
+			return
+		}
+		ws.state = m.SaveState()
+	})
+	return ws.state, ws.cycles, ws.err
 }
 
 // FaultRuns builds a fault campaign: run 0 is the fault-free golden
 // run, runs 1..len(faults) inject one fault each. All runs share one
 // group keyed to the golden digest, so Summarize's divergence count is
 // exactly the number of corrupted runs.
-func FaultRuns(name string, mk func() (*sim.Machine, error), cycles int64, digest func(*sim.Machine) string, faults []fault.Fault) []Run {
+//
+// Every run — the golden run included — warm-starts from one shared
+// snapshot of the golden prefix, taken just before the earliest
+// fault's activation window, so the campaign simulates the shared
+// prefix once instead of once per run. Results are byte-identical to
+// cold-starting every run, because no fault can act inside the prefix.
+func FaultRuns(name string, p *core.Program, cycles int64, digest func(*sim.Machine) string, faults []fault.Fault) []Run {
+	warm := warmStartForFaults(p, cycles, faults)
 	runs := make([]Run, 0, len(faults)+1)
-	runs = append(runs, Run{Name: name + "/golden", Group: name, Make: mk, Cycles: cycles, Digest: digest})
+	runs = append(runs, Run{Name: name + "/golden", Group: name, Program: p, Cycles: cycles, Digest: digest, Warm: warm})
 	for _, f := range faults {
 		runs = append(runs, Run{
-			Name:   fmt.Sprintf("%s/%s", name, f),
-			Group:  name,
-			Make:   mk,
-			Cycles: cycles,
-			Digest: digest,
-			Faults: []fault.Fault{f},
+			Name:    fmt.Sprintf("%s/%s", name, f),
+			Group:   name,
+			Program: p,
+			Cycles:  cycles,
+			Digest:  digest,
+			Faults:  []fault.Fault{f},
+			Warm:    warm,
 		})
 	}
 	return runs
+}
+
+// warmStartForFaults picks the longest golden prefix no fault can
+// observe. A fault first modifies state when the machine's cycle
+// counter reaches its From cycle at the post-commit injection point
+// (see fault.Injector), and the counter only takes values >= 1 there,
+// so a prefix of min over faults of max(From,1)-1 cycles is invisible
+// to every fault. Returns nil when that prefix is empty.
+func warmStartForFaults(p *core.Program, cycles int64, faults []fault.Fault) *WarmStart {
+	prefix := cycles // the prefix cannot exceed the cycle budget
+	for _, f := range faults {
+		first := f.From
+		if first < 1 {
+			first = 1
+		}
+		if first-1 < prefix {
+			prefix = first - 1
+		}
+	}
+	if prefix <= 0 {
+		return nil
+	}
+	return NewWarmStart(p, prefix)
 }
 
 // RunFaults executes a fault campaign through the engine: one
@@ -88,8 +168,8 @@ func FaultRuns(name string, mk func() (*sim.Machine, error), cycles int64, diges
 // catastrophic failure occurs on a certain type of fault, additional
 // design work is necessary" workflow — the parallel successor of the
 // serial loop internal/fault used to carry.
-func RunFaults(ctx context.Context, eng Engine, mk func() (*sim.Machine, error), cycles int64, digest func(*sim.Machine) string, faults []fault.Fault) ([]fault.CampaignResult, string, error) {
-	results, err := eng.Execute(ctx, FaultRuns("faults", mk, cycles, digest, faults))
+func RunFaults(ctx context.Context, eng Engine, p *core.Program, cycles int64, digest func(*sim.Machine) string, faults []fault.Fault) ([]fault.CampaignResult, string, error) {
+	results, err := eng.Execute(ctx, FaultRuns("faults", p, cycles, digest, faults))
 	if err != nil {
 		return nil, "", err
 	}
@@ -110,12 +190,4 @@ func RunFaults(ctx context.Context, eng Engine, mk func() (*sim.Machine, error),
 		out = append(out, cr)
 	}
 	return out, golden.Digest, nil
-}
-
-// machineMaker closes over a parsed spec. The spec is shared read-only
-// across worker goroutines; each call builds a private machine.
-func machineMaker(spec *core.Spec, backend core.Backend) func() (*sim.Machine, error) {
-	return func() (*sim.Machine, error) {
-		return core.NewMachine(spec, backend, core.Options{})
-	}
 }

@@ -110,6 +110,20 @@ func parse(name, src string) (*core.Spec, error) {
 	return spec, nil
 }
 
+// compileProgram parses and compiles a scenario's spec once; the
+// resulting program is shared by every run the scenario builds.
+func compileProgram(name, src string, b core.Backend) (*core.Program, error) {
+	spec, err := parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.Compile(spec, b)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %v", name, err)
+	}
+	return p, nil
+}
+
 func init() {
 	Register(Scenario{
 		Name: "sieve-fleet",
@@ -119,11 +133,11 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			spec, err := parse("sieve", src)
+			prog, err := compileProgram("sieve", src, p.backend())
 			if err != nil {
 				return nil, err
 			}
-			return Fleet("sieve", spec, p.backend(), p.n(8), p.cycles(6000)), nil
+			return Fleet("sieve", prog, p.n(8), p.cycles(6000)), nil
 		},
 	})
 
@@ -139,7 +153,7 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			return BackendFleet("sieve", spec, core.Backends(), p.cycles(6000)), nil
+			return BackendFleet("sieve", spec, core.Backends(), p.cycles(6000))
 		},
 	})
 
@@ -151,7 +165,7 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			return BackendFleet("ibsm1986", spec, core.Backends(), p.cycles(machines.IBSM1986Cycles)), nil
+			return BackendFleet("ibsm1986", spec, core.Backends(), p.cycles(machines.IBSM1986Cycles))
 		},
 	})
 
@@ -174,7 +188,7 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			spec, err := parse("tinycpu", src)
+			prog, err := compileProgram("tinycpu", src, p.backend())
 			if err != nil {
 				return nil, err
 			}
@@ -192,7 +206,7 @@ func init() {
 				fault.Fault{Component: "borrow", Bit: 0, Kind: fault.StuckAt0, From: 0, Until: 1 << 30},
 				fault.Fault{Component: "pc", Bit: 3, Kind: fault.Flip, From: 200},
 			)
-			return FaultRuns("tiny-divide", machineMaker(spec, p.backend()), p.cycles(2000), digest, faults), nil
+			return FaultRuns("tiny-divide", prog, p.cycles(2000), digest, faults), nil
 		},
 	})
 }

@@ -41,6 +41,10 @@ type Options struct {
 
 // Compiled implements sim.Evaluator with pre-compiled closures, and
 // sim.CycleStepper with a single fused per-cycle closure (fused.go).
+// It is stateless after construction — the closures capture only
+// immutable compile-time data (slots, masks, constants) and operate
+// solely on the vectors passed in — so one Compiled may be shared by
+// any number of machines and goroutines (the sim.Evaluator contract).
 type Compiled struct {
 	info *sem.Info
 	opts Options

@@ -118,6 +118,48 @@ func (s *Spec) DefaultCycles(def int64) int64 {
 	return def
 }
 
+// Program is a compiled specification bound to one backend: the
+// immutable product of semantic analysis plus evaluator construction.
+// Compiling is the expensive half of bringing a machine up (Figure
+// 5.1's whole argument is amortizing it over simulated cycles);
+// Program makes the split explicit so a fleet of machines pays it
+// once.
+//
+// A Program is safe for concurrent use. Backend evaluators are
+// stateless by contract (see sim.Evaluator): after construction they
+// hold only immutable tables and closures, so any number of machines
+// on any number of goroutines can share one Program. All mutable
+// simulation state lives in the Machines it builds.
+type Program struct {
+	spec    *Spec
+	backend Backend
+	eval    sim.Evaluator
+}
+
+// Compile builds the chosen backend's evaluator for an analyzed spec
+// once, returning the shareable Program.
+func Compile(s *Spec, b Backend) (*Program, error) {
+	ev, err := NewEvaluator(s.Info, b)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{spec: s, backend: b, eval: ev}, nil
+}
+
+// Spec returns the analyzed specification the program was compiled
+// from.
+func (p *Program) Spec() *Spec { return p.spec }
+
+// Backend returns the backend the program was compiled for.
+func (p *Program) Backend() Backend { return p.backend }
+
+// NewMachine builds a machine running this program. Only the machine's
+// mutable state is allocated; the compiled evaluator and analysis
+// tables are shared with every other machine of the program.
+func (p *Program) NewMachine(opts Options) *Machine {
+	return sim.New(p.spec.Info, p.eval, opts)
+}
+
 // NewEvaluator builds the chosen backend for an analyzed spec.
 func NewEvaluator(info *sem.Info, b Backend) (sim.Evaluator, error) {
 	switch b {
@@ -136,11 +178,15 @@ func NewEvaluator(info *sem.Info, b Backend) (sim.Evaluator, error) {
 	}
 }
 
-// NewMachine builds a simulation machine for the spec.
+// NewMachine builds a simulation machine for the spec: a convenience
+// wrapper that compiles a single-use Program and builds one machine
+// from it. Anything constructing more than one machine per spec —
+// fleets, sweeps, fault campaigns — should Compile once and call
+// Program.NewMachine per machine instead.
 func NewMachine(s *Spec, b Backend, opts Options) (*Machine, error) {
-	ev, err := NewEvaluator(s.Info, b)
+	p, err := Compile(s, b)
 	if err != nil {
 		return nil, err
 	}
-	return sim.New(s.Info, ev, opts), nil
+	return p.NewMachine(opts), nil
 }

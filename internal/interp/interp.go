@@ -21,7 +21,10 @@ import (
 	"repro/internal/sim"
 )
 
-// Interp implements sim.Evaluator by AST walking.
+// Interp implements sim.Evaluator by AST walking. It is stateless
+// after construction — every field is an immutable view of the
+// analyzed tables — so one Interp may be shared by any number of
+// machines and goroutines (the sim.Evaluator contract).
 type Interp struct {
 	info  *sem.Info
 	comb  []ast.Component

@@ -34,6 +34,14 @@ func Fail(component string, cycle int64, format string, args ...interface{}) {
 // backends (interp, compile, bytecode). Implementations read and write
 // the value vector indexed by sem.Info.Slot and report runtime errors
 // by panicking with *RuntimeError (use Fail).
+//
+// Evaluators must be stateless: after construction they hold only
+// immutable tables and closures, with every piece of mutable
+// simulation state living in the vals/addr/data/opn vectors the
+// Machine passes in. That contract is what makes a core.Program cheap
+// to share — one evaluator can serve any number of machines on any
+// number of goroutines concurrently (core's TestProgramSharedAcross-
+// Goroutines enforces it under the race detector).
 type Evaluator interface {
 	// BackendName identifies the backend for reports and benchmarks.
 	BackendName() string
@@ -118,6 +126,9 @@ type Machine struct {
 type Observer func(m *Machine)
 
 // New builds a Machine for an analyzed spec with a compiled evaluator.
+// The evaluator and the analysis tables are referenced, never copied:
+// machines built from the same info+eval share them, and only the
+// mutable state vectors are allocated per machine.
 func New(info *sem.Info, eval Evaluator, opts Options) *Machine {
 	m := &Machine{info: info, eval: eval, opts: opts}
 	nm := len(info.Mems)
@@ -159,8 +170,14 @@ func (m *Machine) Backend() string { return m.eval.BackendName() }
 // Cycle returns the number of cycles executed since the last Reset.
 func (m *Machine) Cycle() int64 { return m.cycle }
 
-// Stats returns the accumulated execution statistics.
-func (m *Machine) Stats() Stats { return m.stats }
+// Stats returns the accumulated execution statistics. The returned
+// value owns its MemOps slice, so it stays valid after the machine is
+// Reset and reused (pooled campaign workers do exactly that).
+func (m *Machine) Stats() Stats {
+	s := m.stats
+	s.MemOps = append([]MemOpStats(nil), m.stats.MemOps...)
+	return s
+}
 
 // Observe registers an observer called at each cycle's trace point.
 func (m *Machine) Observe(o Observer) { m.observers = append(m.observers, o) }
@@ -187,7 +204,26 @@ func (m *Machine) Reset() {
 		copy(arr, mem.Init)
 	}
 	m.cycle = 0
-	m.stats = Stats{MemOps: make([]MemOpStats, len(m.info.Mems))}
+	// Reuse the MemOps backing array: Reset+run cycles on a pooled
+	// machine must not allocate.
+	if m.stats.MemOps == nil {
+		m.stats = Stats{MemOps: make([]MemOpStats, len(m.info.Mems))}
+	} else {
+		ops := m.stats.MemOps
+		for i := range ops {
+			ops[i] = MemOpStats{}
+		}
+		m.stats = Stats{MemOps: ops}
+	}
+}
+
+// ClearHooks detaches every observer and after-commit hook, returning
+// the machine to the hook-free state in which RunBatch takes the fused
+// fast path. Campaign workers call it before returning a machine to
+// the pool, so one run's fault injectors never leak into the next.
+func (m *Machine) ClearHooks() {
+	m.observers = nil
+	m.committers = nil
 }
 
 // Value returns a component's current output (for memories, the output

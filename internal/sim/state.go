@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Machine state snapshots.
+//
+// SaveState serializes the complete mutable state of a machine — the
+// per-slot value vector, every memory backing array, the latched
+// memory inputs, the cycle counter and the execution statistics — into
+// a compact binary form, and RestoreState loads it back. The snapshot
+// deliberately excludes everything immutable (the analyzed spec, the
+// evaluator) and everything environmental (trace writers, I/O streams,
+// observers): a snapshot taken from one machine restores onto any
+// machine built for the same specification, which is what lets a fault
+// campaign simulate a shared golden prefix once and warm-start every
+// run from it.
+//
+// The round trip is bit-identical: a restored machine produces exactly
+// the same trajectory, statistics and digests as the machine the
+// snapshot was taken from (enforced across all backends by
+// state_test.go). Note that the position of an attached input stream
+// is not part of machine state; warm-starting an input-consuming run
+// needs the stream positioned to match the snapshot.
+
+// stateMagic identifies snapshot format version 1.
+const stateMagic uint64 = 0x4153494d53543101 // "ASIMST" 0x1 0x01
+
+// stateLen returns the exact byte length of this machine's snapshot.
+func (m *Machine) stateLen() int {
+	n := 8 + // magic
+		8 + 8*len(m.vals) + // value vector
+		8 // memory count
+	for _, arr := range m.arrays {
+		n += 8 + 8*len(arr) // array length + cells
+	}
+	nm := len(m.arrays)
+	n += 3 * 8 * nm // addr/data/opn latches
+	n += 8 + 8      // cycle + stats.Cycles
+	n += 4 * 8 * nm // per-memory operation counters
+	return n
+}
+
+// AppendState appends the machine's state snapshot to buf and returns
+// the extended slice. Passing a reused buffer (buf[:0]) makes repeated
+// snapshotting allocation-free once the buffer has grown to size.
+func (m *Machine) AppendState(buf []byte) []byte {
+	put := func(v int64) {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	put(int64(stateMagic))
+	put(int64(len(m.vals)))
+	for _, v := range m.vals {
+		put(v)
+	}
+	put(int64(len(m.arrays)))
+	for _, arr := range m.arrays {
+		put(int64(len(arr)))
+		for _, v := range arr {
+			put(v)
+		}
+	}
+	for _, v := range m.addr {
+		put(v)
+	}
+	for _, v := range m.data {
+		put(v)
+	}
+	for _, v := range m.opn {
+		put(v)
+	}
+	put(m.cycle)
+	put(m.stats.Cycles)
+	for _, ops := range m.stats.MemOps {
+		put(ops.Reads)
+		put(ops.Writes)
+		put(ops.Inputs)
+		put(ops.Outputs)
+	}
+	return buf
+}
+
+// ArchHash folds the machine's architectural state — the per-slot
+// value vector and every memory array, the same data Snapshot
+// captures, in deterministic slot/ordinal order — into a 64-bit
+// FNV-1a-style hash, one multiply per word. Campaign digests use it
+// instead of building the name-keyed snapshot map: equal state hashes
+// equal, and a pooled worker's digest allocates nothing beyond the
+// digest string. It deliberately excludes the memory-input latches,
+// whose values are backend-dependent scratch (a compiled backend
+// elides dead data latches), so identical architectures hash equal on
+// every backend.
+func (m *Machine) ArchHash() uint64 {
+	const offset64, prime64 = uint64(14695981039346656037), uint64(1099511628211)
+	h := offset64
+	for _, v := range m.vals {
+		h ^= uint64(v)
+		h *= prime64
+	}
+	for _, arr := range m.arrays {
+		for _, v := range arr {
+			h ^= uint64(v)
+			h *= prime64
+		}
+	}
+	return h
+}
+
+// SaveState returns a binary snapshot of the machine's complete
+// mutable state. See the package comment above for what a snapshot
+// does and does not capture.
+func (m *Machine) SaveState() []byte {
+	return m.AppendState(make([]byte, 0, m.stateLen()))
+}
+
+// RestoreState loads a snapshot produced by SaveState or AppendState.
+// The snapshot must come from a machine of identical shape (same
+// specification); a mismatched or corrupt snapshot is rejected with an
+// error before any machine state is modified.
+func (m *Machine) RestoreState(st []byte) error {
+	if len(st) != m.stateLen() {
+		return fmt.Errorf("sim: snapshot is %d bytes, this machine's state is %d", len(st), m.stateLen())
+	}
+	get := func(off int) int64 {
+		return int64(binary.LittleEndian.Uint64(st[off:]))
+	}
+	// Validate the full layout before touching any state.
+	if uint64(get(0)) != stateMagic {
+		return fmt.Errorf("sim: not a machine state snapshot (bad magic %#x)", uint64(get(0)))
+	}
+	if n := get(8); n != int64(len(m.vals)) {
+		return fmt.Errorf("sim: snapshot has %d component slots, this machine has %d", n, len(m.vals))
+	}
+	off := 16 + 8*len(m.vals)
+	if n := get(off); n != int64(len(m.arrays)) {
+		return fmt.Errorf("sim: snapshot has %d memories, this machine has %d", n, len(m.arrays))
+	}
+	off += 8
+	arrOff := make([]int, len(m.arrays))
+	for i, arr := range m.arrays {
+		if n := get(off); n != int64(len(arr)) {
+			return fmt.Errorf("sim: snapshot memory %d has %d cells, this machine has %d", i, n, len(arr))
+		}
+		arrOff[i] = off + 8
+		off += 8 + 8*len(arr)
+	}
+
+	// Shape verified; copy everything in.
+	for i := range m.vals {
+		m.vals[i] = get(16 + 8*i)
+	}
+	for i, arr := range m.arrays {
+		base := arrOff[i]
+		for j := range arr {
+			arr[j] = get(base + 8*j)
+		}
+	}
+	nm := len(m.arrays)
+	for i := 0; i < nm; i++ {
+		m.addr[i] = get(off + 8*i)
+		m.data[i] = get(off + 8*(nm+i))
+		m.opn[i] = get(off + 8*(2*nm+i))
+	}
+	off += 3 * 8 * nm
+	m.cycle = get(off)
+	m.stats.Cycles = get(off + 8)
+	off += 16
+	for i := range m.stats.MemOps {
+		m.stats.MemOps[i] = MemOpStats{
+			Reads:   get(off),
+			Writes:  get(off + 8),
+			Inputs:  get(off + 16),
+			Outputs: get(off + 24),
+		}
+		off += 32
+	}
+	return nil
+}

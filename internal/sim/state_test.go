@@ -1,0 +1,201 @@
+package sim_test
+
+// SaveState/RestoreState round-trip tests: a machine restored from a
+// snapshot must be bit-identical to the machine the snapshot was taken
+// from — same digests, same statistics, same continued trajectory —
+// on every backend, and a snapshot must restore across backends (the
+// warm-start path fault campaigns rely on).
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/machines"
+)
+
+func compileAll(t *testing.T, name, src string) map[core.Backend]*core.Program {
+	t.Helper()
+	spec, err := core.ParseString(name, src)
+	if err != nil {
+		t.Fatalf("%s: parse: %v", name, err)
+	}
+	progs := make(map[core.Backend]*core.Program)
+	for _, b := range core.Backends() {
+		p, err := core.Compile(spec, b)
+		if err != nil {
+			t.Fatalf("%s: compile %s: %v", name, b, err)
+		}
+		progs[b] = p
+	}
+	return progs
+}
+
+// TestSaveRestoreRoundTrip: on every backend and every canonical
+// machine, splitting a run at an arbitrary snapshot point is invisible
+// — the restored machine finishes with the same digest, cycle count
+// and statistics as the uninterrupted run, and re-saving immediately
+// after a restore reproduces the snapshot byte for byte.
+func TestSaveRestoreRoundTrip(t *testing.T) {
+	specs, err := machines.Testdata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const prefix, total = 37, 200
+	for name, src := range specs {
+		for b, p := range compileAll(t, name, src) {
+			t.Run(name+"/"+string(b), func(t *testing.T) {
+				straight := p.NewMachine(core.Options{})
+				if err := straight.Run(total); err != nil {
+					t.Skipf("workload errors at cycle %v without input: %v", straight.Cycle(), err)
+				}
+
+				donor := p.NewMachine(core.Options{})
+				if err := donor.Run(prefix); err != nil {
+					t.Fatal(err)
+				}
+				st := donor.SaveState()
+
+				warm := p.NewMachine(core.Options{})
+				if err := warm.RestoreState(st); err != nil {
+					t.Fatalf("restore: %v", err)
+				}
+				if got := warm.AppendState(nil); !bytes.Equal(got, st) {
+					t.Fatal("save→restore→save is not byte-identical")
+				}
+				if warm.Cycle() != prefix {
+					t.Fatalf("restored cycle = %d, want %d", warm.Cycle(), prefix)
+				}
+				if err := warm.RunBatch(total - prefix); err != nil {
+					t.Fatal(err)
+				}
+
+				if got, want := campaign.SnapshotDigest(warm), campaign.SnapshotDigest(straight); got != want {
+					t.Errorf("warm-started digest %s != straight-run digest %s", got, want)
+				}
+				if got, want := warm.Stats(), straight.Stats(); got.Cycles != want.Cycles {
+					t.Errorf("stats cycles %d != %d", got.Cycles, want.Cycles)
+				} else {
+					for i := range want.MemOps {
+						if got.MemOps[i] != want.MemOps[i] {
+							t.Errorf("mem %d stats %+v != %+v", i, got.MemOps[i], want.MemOps[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSaveRestoreAcrossBackends: a snapshot taken on one backend
+// warm-starts a machine on any other backend, because snapshots hold
+// only architectural state.
+func TestSaveRestoreAcrossBackends(t *testing.T) {
+	src, err := machines.SieveSpec(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := compileAll(t, "sieve", src)
+	const prefix, total = 500, 2000
+
+	ref := progs[core.Interp].NewMachine(core.Options{})
+	if err := ref.Run(total); err != nil {
+		t.Fatal(err)
+	}
+	want := campaign.SnapshotDigest(ref)
+
+	donor := progs[core.Interp].NewMachine(core.Options{})
+	if err := donor.Run(prefix); err != nil {
+		t.Fatal(err)
+	}
+	st := donor.SaveState()
+	for b, p := range progs {
+		m := p.NewMachine(core.Options{})
+		if err := m.RestoreState(st); err != nil {
+			t.Fatalf("%s: restore: %v", b, err)
+		}
+		if err := m.RunBatch(total - prefix); err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		if got := campaign.SnapshotDigest(m); got != want {
+			t.Errorf("%s warm-started from interp snapshot: digest %s, want %s", b, got, want)
+		}
+	}
+}
+
+// TestRestoreRejectsMismatch: restoring a foreign or corrupt snapshot
+// fails cleanly, leaving the target machine untouched.
+func TestRestoreRejectsMismatch(t *testing.T) {
+	counter, err := core.ParseString("counter", machines.Counter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sieveSrc, err := machines.SieveSpec(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sieve, err := core.ParseString("sieve", sieveSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := core.NewMachine(counter, core.Compiled, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := core.NewMachine(sieve, core.Compiled, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	before := campaign.SnapshotDigest(sm)
+
+	if err := sm.RestoreState(cm.SaveState()); err == nil {
+		t.Error("foreign snapshot accepted")
+	}
+	if err := sm.RestoreState(nil); err == nil {
+		t.Error("empty snapshot accepted")
+	}
+	bad := sm.SaveState()
+	bad[0] ^= 0xff // corrupt the magic
+	if err := sm.RestoreState(bad); err == nil {
+		t.Error("corrupt snapshot accepted")
+	}
+	if campaign.SnapshotDigest(sm) != before {
+		t.Error("failed restore modified machine state")
+	}
+}
+
+// TestStatsOwnership: the Stats a caller received must not change when
+// the machine is Reset and reused (the pooled-worker pattern).
+func TestStatsOwnership(t *testing.T) {
+	src, err := machines.SieveSpec(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := core.ParseString("sieve", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.NewMachine(spec, core.Compiled, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Stats()
+	reads := got.MemReads()
+	if reads == 0 {
+		t.Fatal("workload performed no reads")
+	}
+	m.Reset()
+	if err := m.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if got.MemReads() != reads || got.Cycles != 500 {
+		t.Errorf("earlier Stats mutated by Reset+reuse: %+v", got)
+	}
+}
