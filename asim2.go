@@ -17,6 +17,10 @@
 // Machines of one Program share its compiled evaluator; build fleets
 // with one Compile and many NewMachine calls. asim2.NewMachine(spec,
 // backend, opts) remains as a single-machine convenience wrapper.
+// Program.NewGang builds a struct-of-arrays Gang that steps many
+// hook-free machines of one Program in lockstep, amortizing component
+// dispatch across the whole gang (the campaign engine does this
+// automatically for eligible fleet runs).
 //
 // Backends: Interp is the table-walking baseline (the original ASIM),
 // Compiled pre-compiles the specification to closures (the ASIM II
@@ -39,6 +43,7 @@ type (
 	Spec         = core.Spec
 	Program      = core.Program
 	Machine      = core.Machine
+	Gang         = core.Gang
 	Options      = core.Options
 	Backend      = core.Backend
 	Stats        = core.Stats

@@ -233,7 +233,9 @@ func BenchmarkCampaignScaling(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			eng := campaign.Engine{Workers: workers}
+			// GangSize 1 pins the scalar pooled path: this benchmark
+			// isolates worker scaling, BenchmarkGangFleet covers gangs.
+			eng := campaign.Engine{Workers: workers, GangSize: 1}
 			runs := campaign.Fleet("sieve", prog, fleetSize, perRun)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -243,6 +245,51 @@ func BenchmarkCampaignScaling(b *testing.B) {
 				}
 				if sum := campaign.Summarize(results, 0); sum.Errors != 0 || sum.Divergences != 0 {
 					b.Fatalf("campaign summary: %+v", sum)
+				}
+			}
+			b.ReportMetric(float64(int64(b.N)*fleetSize*perRun)/b.Elapsed().Seconds(), "cycles/s")
+		})
+	}
+}
+
+// BenchmarkGangFleet is the gang-execution tentpole measurement: the
+// Figure 5.1 fleet workload (identical 5545-cycle sieve runs of one
+// compiled Program) through the campaign engine on the pooled scalar
+// path and as struct-of-arrays gangs of several widths. Single-worker,
+// so the comparison isolates component-dispatch amortization across
+// lanes from multicore scaling (BenchmarkCampaignScaling covers
+// that). One benchmark iteration is one whole fleet.
+func BenchmarkGangFleet(b *testing.B) {
+	spec := sieveSpec(b)
+	prog, err := Compile(spec, Compiled)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const fleetSize = 32
+	const perRun = int64(5545)
+	for _, tc := range []struct {
+		name string
+		gang int
+	}{
+		{"pooled-scalar", 1},
+		{"gang-8", 8},
+		{"gang-32", 32},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			eng := campaign.Engine{Workers: 1, GangSize: tc.gang}
+			runs := campaign.Fleet("sieve", prog, fleetSize, perRun)
+			// Warm once untimed: the first gang use builds lane kernels.
+			if _, err := eng.Execute(context.Background(), runs); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results, err := eng.Execute(context.Background(), runs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sum := campaign.Summarize(results, 0); sum.Errors != 0 || sum.Divergences != 0 {
+					b.Fatalf("gang fleet summary: %+v", sum)
 				}
 			}
 			b.ReportMetric(float64(int64(b.N)*fleetSize*perRun)/b.Elapsed().Seconds(), "cycles/s")

@@ -17,7 +17,11 @@
 // fleet pays for compilation once and for machine state a handful of
 // times, never per run. Fault campaigns additionally warm-start every
 // run from a shared golden-prefix snapshot (WarmStart) instead of
-// re-simulating the cycles before the first fault can act.
+// re-simulating the cycles before the first fault can act. Hook-free
+// runs sharing one Program go further still: the engine steps them as
+// gangs (sim.Gang) — struct-of-arrays lockstep execution that
+// amortizes component dispatch across the whole gang — with results
+// bit-identical to the scalar path.
 package campaign
 
 import (
@@ -106,6 +110,16 @@ type Result struct {
 // the steady-state cost of a run is its simulated cycles — no
 // compilation and (for hook-free runs) no per-run allocation beyond
 // the result's digest string and statistics.
+//
+// Runs that share a Program and carry no hooks, faults, I/O, warm
+// start or custom digest are additionally stepped as gangs: up to
+// GangSize runs execute in lockstep over struct-of-arrays state
+// (sim.Gang), paying one component dispatch per component per cycle
+// for the whole gang instead of per run. Gang results are
+// bit-identical to the scalar path's — same digests, statistics and
+// runtime errors — so ganging is purely a throughput decision; runs
+// left over (ineligible, backend without gang support, or a
+// remainder too small to gang) take the pooled scalar path.
 type Engine struct {
 	// Workers is the number of worker goroutines; <= 0 means
 	// runtime.GOMAXPROCS(0).
@@ -115,6 +129,108 @@ type Engine struct {
 	// single run; <= 0 means 4096. Smaller chunks cancel long runs
 	// sooner at slightly more loop overhead.
 	Chunk int64
+
+	// GangSize caps how many runs of one Program are stepped as a
+	// single struct-of-arrays gang: 0 means DefaultGangSize, and any
+	// value below 2 disables gang execution (a one-lane gang has
+	// nothing to amortize). The planner may narrow gangs further to
+	// keep every worker busy — parallelism is worth more than
+	// dispatch amortization (see plan).
+	GangSize int
+}
+
+// DefaultGangSize is the gang width Engine uses when GangSize is 0 —
+// wide enough to amortize component dispatch, narrow enough that a
+// gang's working set stays cache-resident on typical specs.
+const DefaultGangSize = 32
+
+// gangWidth resolves the engine's effective gang width; 1 disables.
+func (e Engine) gangWidth() int {
+	if e.GangSize == 0 {
+		return DefaultGangSize
+	}
+	if e.GangSize < 2 {
+		return 1
+	}
+	return e.GangSize
+}
+
+// runGangable reports whether a run may join a gang: it must reference
+// a gang-capable program and be free of everything a gang lane cannot
+// carry — I/O and tracing (non-zero Options), fault-injection hooks, a
+// warm-start snapshot, or a custom digest function (which wants a
+// *sim.Machine). Everything else takes the pooled scalar path.
+func runGangable(r Run) bool {
+	return r.Program != nil && r.Opts == (core.Options{}) && len(r.Faults) == 0 &&
+		r.Warm == nil && r.Digest == nil && r.Program.GangCapable()
+}
+
+// span is one dispatch unit: a half-open range of plan order. A
+// one-run span executes on the scalar path, a wider one as a gang.
+type span struct{ lo, hi int }
+
+// plan groups a campaign's runs into dispatch units: gangable runs of
+// one Program batch into gangs (a remainder of one falls back to the
+// scalar path), every other run dispatches alone. order holds run
+// indices with each unit's members contiguous.
+//
+// Gang width is capped twice: by GangSize, and by ceil(gangable runs
+// / workers) — parallelism across workers is worth more than
+// dispatch amortization within a gang, so the planner narrows gangs
+// before it would leave a worker idle. A 16-run fleet on 8 workers
+// dispatches as 8 two-lane gangs, not one idle-everything 16-lane
+// gang; on a single worker it packs full-width gangs.
+type plan struct {
+	order []int
+	jobs  []span
+}
+
+func (e Engine) plan(runs []Run, workers int) plan {
+	gw := e.gangWidth()
+	p := plan{order: make([]int, 0, len(runs))}
+	var scalars []int
+	if gw >= 2 {
+		byProg := make(map[*core.Program][]int)
+		var progs []*core.Program
+		gangable := 0
+		for i, r := range runs {
+			if !runGangable(r) {
+				scalars = append(scalars, i)
+				continue
+			}
+			gangable++
+			if _, ok := byProg[r.Program]; !ok {
+				progs = append(progs, r.Program)
+			}
+			byProg[r.Program] = append(byProg[r.Program], i)
+		}
+		if workers > 1 && gangable > 0 {
+			if perWorker := (gangable + workers - 1) / workers; perWorker < gw {
+				gw = perWorker
+			}
+		}
+		for _, prog := range progs {
+			idxs := byProg[prog]
+			for gw >= 2 && len(idxs) >= 2 {
+				n := min(gw, len(idxs))
+				lo := len(p.order)
+				p.order = append(p.order, idxs[:n]...)
+				p.jobs = append(p.jobs, span{lo, lo + n})
+				idxs = idxs[n:]
+			}
+			scalars = append(scalars, idxs...)
+		}
+	} else {
+		for i := range runs {
+			scalars = append(scalars, i)
+		}
+	}
+	for _, i := range scalars {
+		lo := len(p.order)
+		p.order = append(p.order, i)
+		p.jobs = append(p.jobs, span{lo, lo + 1})
+	}
+	return p
 }
 
 // Execute runs every Run across the worker pool. results[i] always
@@ -127,50 +243,136 @@ func (e Engine) Execute(ctx context.Context, runs []Run) ([]Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(runs) {
-		workers = len(runs)
-	}
 	results := make([]Result, len(runs))
 	if len(runs) == 0 {
 		return results, ctx.Err()
 	}
+	p := e.plan(runs, workers)
+	if workers > len(p.jobs) {
+		workers = len(p.jobs)
+	}
 
-	jobs := make(chan int)
+	jobs := make(chan span)
 	var wg sync.WaitGroup
 	for n := 0; n < workers; n++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			w := &worker{pool: make(map[*core.Program]*sim.Machine)}
-			for i := range jobs {
-				results[i] = e.exec(ctx, w, i, runs[i])
+			w := &worker{
+				pool:    make(map[*core.Program]*sim.Machine),
+				gangs:   make(map[*core.Program]*sim.Gang),
+				gangCap: e.gangWidth(),
+			}
+			for s := range jobs {
+				idxs := p.order[s.lo:s.hi]
+				if len(idxs) == 1 {
+					results[idxs[0]] = e.exec(ctx, w, idxs[0], runs[idxs[0]])
+				} else {
+					e.execGang(ctx, w, idxs, runs, results)
+				}
 			}
 		}()
 	}
-	// Dispatch until the context is cancelled; the runs never handed
+	// Dispatch until the context is cancelled; the jobs never handed
 	// to a worker are marked cancelled directly below instead of being
 	// funnelled through the channel one by one.
 	next := 0
 dispatch:
-	for ; next < len(runs); next++ {
+	for ; next < len(p.jobs); next++ {
 		select {
-		case jobs <- next:
+		case jobs <- p.jobs[next]:
 		case <-ctx.Done():
 			break dispatch
 		}
 	}
 	close(jobs)
 	wg.Wait()
-	for i := next; i < len(runs); i++ {
-		results[i] = Result{Index: i, Name: runs[i].Name, Group: runs[i].Group, Err: ctx.Err()}
+	for _, s := range p.jobs[next:] {
+		for _, i := range p.order[s.lo:s.hi] {
+			results[i] = Result{Index: i, Name: runs[i].Name, Group: runs[i].Group, Err: ctx.Err()}
+		}
 	}
 	return results, ctx.Err()
 }
 
 // worker is one goroutine's execution context: the per-program
-// machine pool.
+// machine and gang pools.
 type worker struct {
-	pool map[*core.Program]*sim.Machine
+	pool    map[*core.Program]*sim.Machine
+	gangs   map[*core.Program]*sim.Gang
+	gangCap int
+	targets []int64 // reused per-gang-job cycle budget buffer
+}
+
+// gang returns a pooled gang for the program with room for lanes, or
+// nil when the program cannot gang.
+func (w *worker) gang(p *core.Program, lanes int) *sim.Gang {
+	if g := w.gangs[p]; g != nil && g.Capacity() >= lanes {
+		return g
+	}
+	capacity := w.gangCap
+	if lanes > capacity {
+		capacity = lanes
+	}
+	g, ok := p.NewGang(capacity)
+	if !ok {
+		return nil
+	}
+	w.gangs[p] = g
+	return g
+}
+
+// execGang performs one gang job — two or more runs of one Program in
+// lockstep — writing each lane's Result at its run's index. Results
+// are bit-identical to running each lane through exec: same default
+// digest, statistics, cycle counts and runtime errors.
+func (e Engine) execGang(ctx context.Context, w *worker, idxs []int, runs []Run, results []Result) {
+	for _, i := range idxs {
+		results[i] = Result{Index: i, Name: runs[i].Name, Group: runs[i].Group}
+	}
+	if err := ctx.Err(); err != nil {
+		for _, i := range idxs {
+			results[i].Err = err
+		}
+		return
+	}
+	g := w.gang(runs[idxs[0]].Program, len(idxs))
+	if g == nil {
+		// Unreachable while plan gates on GangCapable, but degrading to
+		// the scalar path is always correct.
+		for _, i := range idxs {
+			results[i] = e.exec(ctx, w, i, runs[i])
+		}
+		return
+	}
+	targets := w.targets[:0]
+	for _, i := range idxs {
+		targets = append(targets, runs[i].Cycles)
+	}
+	w.targets = targets
+	g.Reset(targets)
+
+	chunk := e.Chunk
+	if chunk <= 0 {
+		chunk = 4096
+	}
+	var ctxErr error
+	for g.Step(chunk) {
+		if err := ctx.Err(); err != nil {
+			ctxErr = err
+			break
+		}
+	}
+	for l, i := range idxs {
+		res := &results[i]
+		res.Cycles = g.LaneCycle(l)
+		res.Stats = g.LaneStats(l)
+		res.Err = g.LaneErr(l)
+		if res.Err == nil && ctxErr != nil && res.Cycles < runs[i].Cycles {
+			res.Err = ctxErr
+		}
+		res.Digest = hashHex(g.LaneArchHash(l))
+	}
 }
 
 // machine returns a machine for the run: the worker's pooled machine
@@ -271,9 +473,16 @@ func (e Engine) exec(ctx context.Context, w *worker, idx int, r Run) Result {
 // and memory arrays) into a short hex string with the same
 // equal-iff-equal-state property as SnapshotDigest, but without
 // building the name-keyed snapshot: the only allocation is the
-// returned string.
+// returned string. Gang lanes digest through the same hash
+// (Gang.LaneArchHash), so the two execution paths agree by
+// construction on identical state.
 func archDigest(m *sim.Machine) string {
-	h := m.ArchHash()
+	return hashHex(m.ArchHash())
+}
+
+// hashHex renders a 64-bit state hash as the 16-digit hex digest
+// string both execution paths report.
+func hashHex(h uint64) string {
 	const hexdigits = "0123456789abcdef"
 	var out [16]byte
 	for i := 15; i >= 0; i-- {

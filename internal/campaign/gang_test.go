@@ -1,0 +1,288 @@
+package campaign
+
+// Gang-aware dispatch: Engine.Execute must produce bit-identical
+// []Result whether runs execute as gangs, as pooled scalar machines,
+// or as any mix — across gang widths, mixed per-run cycle budgets,
+// runs that fault out mid-gang, and fleets mixing gangable runs with
+// runs the gang cannot carry (other backends, I/O options, faults).
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/specgen"
+)
+
+// requireSameResults compares two result sets field by field, ignoring
+// nothing: digests, statistics, cycle counts and error strings all
+// participate.
+func requireSameResults(t *testing.T, label string, got, want []Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		gerr, werr := "", ""
+		if g.Err != nil {
+			gerr = g.Err.Error()
+		}
+		if w.Err != nil {
+			werr = w.Err.Error()
+		}
+		if gerr != werr {
+			t.Errorf("%s: run %d (%s): err %q, want %q", label, i, w.Name, gerr, werr)
+		}
+		g.Err, w.Err = nil, nil
+		if !reflect.DeepEqual(g, w) {
+			t.Errorf("%s: run %d (%s):\n got %+v\nwant %+v", label, i, w.Name, g, w)
+		}
+	}
+}
+
+// executeScalar runs the campaign with gang execution disabled — the
+// reference the gang paths must match bit for bit.
+func executeScalar(t *testing.T, runs []Run) []Result {
+	t.Helper()
+	results, err := Engine{Workers: 1, GangSize: 1}.Execute(context.Background(), runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+// TestGangDispatchEquivalence: one fleet, every dispatch shape.
+func TestGangDispatchEquivalence(t *testing.T) {
+	prog := sieveProgram(t, 20, core.Compiled)
+	runs := Fleet("sieve", prog, 13, 700)
+	want := executeScalar(t, runs)
+	for _, gs := range []int{0, 2, 3, 13, 64} {
+		for _, workers := range []int{1, 4} {
+			eng := Engine{Workers: workers, GangSize: gs}
+			results, err := eng.Execute(context.Background(), runs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameResults(t, fmt.Sprintf("gang=%d workers=%d", gs, workers), results, want)
+			if sum := Summarize(results, 0); sum.Divergences != 0 || sum.Errors != 0 {
+				t.Errorf("gang=%d workers=%d: %s", gs, workers, sum)
+			}
+		}
+	}
+}
+
+// TestGangDispatchMixedCycles: lanes of one gang halt at different
+// cycles; digests and statistics still match the scalar path per run.
+func TestGangDispatchMixedCycles(t *testing.T) {
+	prog := sieveProgram(t, 20, core.Compiled)
+	rng := rand.New(rand.NewSource(7))
+	runs := make([]Run, 24)
+	for i := range runs {
+		runs[i] = Run{
+			Name:    fmt.Sprintf("mixed#%d", i),
+			Program: prog,
+			Cycles:  int64(rng.Intn(900)), // includes possible zero-cycle runs
+		}
+	}
+	want := executeScalar(t, runs)
+	results, err := Engine{Workers: 2, GangSize: 8}.Execute(context.Background(), runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResults(t, "mixed cycles", results, want)
+}
+
+// TestGangDispatchFaultingRuns: runs that hit a runtime error report
+// the identical error, cycle count and final digest through the gang
+// path — both a deterministic selector fault and whatever the
+// generated-spec sweep produces.
+func TestGangDispatchFaultingRuns(t *testing.T) {
+	// The memory counts up each cycle; sel faults once the count
+	// exceeds its two cases. Runs with Cycles >= 3 fault, shorter runs
+	// halt cleanly, so one gang mixes both outcomes.
+	src := "#faulty\ninc count sel .\nA inc 4 count 1\nM count 0 inc 1 1\nS sel count 0 1\n.\n"
+	spec, err := core.ParseString("faulty", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := core.Compile(spec, core.Compiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := make([]Run, 9)
+	for i := range runs {
+		runs[i] = Run{Name: fmt.Sprintf("faulty#%d", i), Program: prog, Cycles: int64(i)}
+	}
+	want := executeScalar(t, runs)
+	faulted := 0
+	for _, r := range want {
+		if r.Err != nil {
+			faulted++
+		}
+	}
+	if faulted == 0 || faulted == len(want) {
+		t.Fatalf("want a mix of faulting and clean runs, got %d/%d faulted", faulted, len(want))
+	}
+	results, err := Engine{Workers: 3, GangSize: 4}.Execute(context.Background(), runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResults(t, "deterministic fault", results, want)
+
+	// Generated specs: whatever outcome each seed produces (many fault
+	// with selector or address errors), gang and scalar must agree.
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		gsrc := specgen.Generate(rng, specgen.Config{Combs: 1 + rng.Intn(12), Mems: 1 + rng.Intn(3)})
+		gspec, err := core.ParseString(fmt.Sprintf("rand%d", seed), gsrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gprog, err := core.Compile(gspec, core.Compiled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gruns := Fleet(fmt.Sprintf("rand%d", seed), gprog, 5, 96)
+		gwant := executeScalar(t, gruns)
+		gres, err := Engine{Workers: 2, GangSize: 5}.Execute(context.Background(), gruns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameResults(t, fmt.Sprintf("seed %d", seed), gres, gwant)
+	}
+}
+
+// TestGangDispatchMixedEligibility: a campaign mixing gangable runs
+// with everything the gang must refuse — interp-backend runs, runs
+// with I/O options, an undersized remainder — still produces
+// scalar-identical results, and the ineligible runs complete.
+func TestGangDispatchMixedEligibility(t *testing.T) {
+	compiled := sieveProgram(t, 20, core.Compiled)
+	interp := sieveProgram(t, 20, core.Interp)
+	var runs []Run
+	// 5 gangable + interp runs interleaved + one Options run; gang
+	// width 4 leaves a gangable remainder of 1 on the scalar path.
+	for i := 0; i < 5; i++ {
+		runs = append(runs, Run{Name: fmt.Sprintf("gang#%d", i), Group: "sieve", Program: compiled, Cycles: 400})
+		runs = append(runs, Run{Name: fmt.Sprintf("interp#%d", i), Group: "sieve", Program: interp, Cycles: 400})
+	}
+	runs = append(runs, Run{Name: "traced", Group: "sieve", Program: compiled, Cycles: 400, Opts: core.Options{Trace: discard{}}})
+	want := executeScalar(t, runs)
+	results, err := Engine{Workers: 2, GangSize: 4}.Execute(context.Background(), runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResults(t, "mixed eligibility", results, want)
+	// All backends and paths agree on the sieve: one comparison group,
+	// zero divergences.
+	if sum := Summarize(results, 0); sum.Divergences != 0 || sum.Errors != 0 {
+		t.Errorf("mixed-eligibility summary: %s", sum)
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestGangDispatchCancellation: cancelling mid-campaign marks
+// unfinished gang lanes with the context error and keeps finished
+// results, like the scalar path.
+func TestGangDispatchCancellation(t *testing.T) {
+	prog := sieveProgram(t, 20, core.Compiled)
+	const fleetSize = 40
+	runs := Fleet("sieve", prog, fleetSize, 1<<40) // effectively unbounded
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := Engine{Workers: 2, GangSize: 8, Chunk: 64}.Execute(ctx, runs)
+	if err == nil {
+		t.Fatal("Execute returned nil error after cancellation")
+	}
+	for i, r := range results {
+		if r.Err == nil {
+			t.Errorf("run %d finished an unbounded budget; want cancellation error", i)
+		}
+		if r.Index != i {
+			t.Errorf("result %d has index %d", i, r.Index)
+		}
+	}
+
+	// And a mid-flight cancellation: some runs may finish, the rest
+	// carry the context error.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	short := Fleet("sieve", prog, fleetSize, 1<<40)
+	done := make(chan []Result, 1)
+	go func() {
+		res, _ := Engine{Workers: 2, GangSize: 8, Chunk: 64}.Execute(ctx2, short)
+		done <- res
+	}()
+	cancel2()
+	for i, r := range <-done {
+		if r.Err == nil && r.Cycles != short[i].Cycles {
+			t.Errorf("run %d: no error but only %d cycles executed", i, r.Cycles)
+		}
+	}
+}
+
+// planWidths returns the job widths a plan would dispatch.
+func planWidths(eng Engine, runs []Run, workers int) []int {
+	p := eng.plan(runs, workers)
+	widths := make([]int, 0, len(p.jobs))
+	for _, s := range p.jobs {
+		widths = append(widths, s.hi-s.lo)
+	}
+	return widths
+}
+
+// TestGangRemainderScalar pins the planner: a fleet one larger than
+// the gang width dispatches one full gang and one scalar run, and an
+// ineligible-backend fleet dispatches all-scalar.
+func TestGangRemainderScalar(t *testing.T) {
+	prog := sieveProgram(t, 20, core.Compiled)
+	eng := Engine{GangSize: 8}
+	widths := planWidths(eng, Fleet("sieve", prog, 9, 100), 1)
+	if !reflect.DeepEqual(widths, []int{8, 1}) {
+		t.Errorf("plan widths = %v, want [8 1]", widths)
+	}
+	interp := sieveProgram(t, 20, core.Interp)
+	for _, w := range planWidths(eng, Fleet("sieve", interp, 9, 100), 1) {
+		if w != 1 {
+			t.Fatalf("interp fleet planned a gang of %d; backend cannot gang", w)
+		}
+	}
+}
+
+// TestGangPlanKeepsWorkersBusy pins the parallelism-first rule: the
+// planner narrows gangs below GangSize rather than leave workers
+// idle, and disables them entirely when there is one run per worker.
+func TestGangPlanKeepsWorkersBusy(t *testing.T) {
+	prog := sieveProgram(t, 20, core.Compiled)
+	runs := Fleet("sieve", prog, 16, 100)
+	// One worker: a full-width gang.
+	if widths := planWidths(Engine{}, runs, 1); !reflect.DeepEqual(widths, []int{16}) {
+		t.Errorf("1 worker: plan widths = %v, want [16]", widths)
+	}
+	// Eight workers: eight two-lane gangs, every worker busy.
+	if widths := planWidths(Engine{}, runs, 8); !reflect.DeepEqual(widths, []int{2, 2, 2, 2, 2, 2, 2, 2}) {
+		t.Errorf("8 workers: plan widths = %v, want eight 2s", widths)
+	}
+	// Sixteen workers: one run each — gangs would idle nobody but also
+	// amortize nothing across workers; all-scalar.
+	for _, w := range planWidths(Engine{}, runs, 16) {
+		if w != 1 {
+			t.Fatalf("16 workers: planned a gang of %d, want all-scalar", w)
+		}
+	}
+	// The results stay bit-identical whichever shape the planner picks.
+	want := executeScalar(t, runs)
+	for _, workers := range []int{1, 3, 8, 16} {
+		results, err := Engine{Workers: workers}.Execute(context.Background(), runs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameResults(t, fmt.Sprintf("workers=%d", workers), results, want)
+	}
+}

@@ -20,6 +20,8 @@
 package compile
 
 import (
+	"sync"
+
 	"repro/internal/rtl/ast"
 	"repro/internal/rtl/sem"
 	"repro/internal/sim"
@@ -39,18 +41,26 @@ type Options struct {
 	NoFold bool
 }
 
-// Compiled implements sim.Evaluator with pre-compiled closures, and
-// sim.CycleStepper with a single fused per-cycle closure (fused.go).
-// It is stateless after construction — the closures capture only
-// immutable compile-time data (slots, masks, constants) and operate
-// solely on the vectors passed in — so one Compiled may be shared by
-// any number of machines and goroutines (the sim.Evaluator contract).
+// Compiled implements sim.Evaluator with pre-compiled closures,
+// sim.CycleStepper with a single fused per-cycle closure (fused.go),
+// and sim.GangStepper with lane-loop kernels over struct-of-arrays
+// fleet state (gang.go). It is stateless after construction — the
+// closures capture only immutable compile-time data (slots, masks,
+// constants) and operate solely on the vectors passed in — so one
+// Compiled may be shared by any number of machines and goroutines (the
+// sim.Evaluator contract). The gang kernels are built lazily on first
+// use behind a sync.Once and are immutable afterwards, which keeps the
+// contract intact.
 type Compiled struct {
 	info *sem.Info
 	opts Options
 	comb []combFn
 	mems []memFns
 	step stepFn
+
+	gangOnce    sync.Once
+	gangComb    []gangFn
+	gangLatches []gangLatchFn
 }
 
 type memFns struct {

@@ -29,6 +29,9 @@ type (
 	Stats = sim.Stats
 	// Options configures I/O and tracing for a machine.
 	Options = sim.Options
+	// Gang steps many machines of one Program in lockstep over
+	// struct-of-arrays state (see internal/sim).
+	Gang = sim.Gang
 )
 
 // Backend selects an execution strategy.
@@ -158,6 +161,19 @@ func (p *Program) Backend() Backend { return p.backend }
 // tables are shared with every other machine of the program.
 func (p *Program) NewMachine(opts Options) *Machine {
 	return sim.New(p.spec.Info, p.eval, opts)
+}
+
+// GangCapable reports whether the program's backend can step gangs
+// (implements sim.GangStepper). The campaign engine uses it to decide
+// between gang and pooled scalar execution.
+func (p *Program) GangCapable() bool { return sim.CanGang(p.eval) }
+
+// NewGang builds a struct-of-arrays gang of up to capacity lanes
+// running this program, or reports ok=false when the backend does not
+// implement sim.GangStepper. Like machines, gangs hold only mutable
+// state; the evaluator is shared.
+func (p *Program) NewGang(capacity int) (*sim.Gang, bool) {
+	return sim.NewGang(p.spec.Info, p.eval, capacity)
 }
 
 // NewEvaluator builds the chosen backend for an analyzed spec.

@@ -1,0 +1,496 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/rtl/sem"
+)
+
+// Gang execution: many machines of one program stepped in lockstep
+// over struct-of-arrays state.
+//
+// A Machine is array-of-structs: each machine owns its value vector,
+// and a fleet of N machines pays N component dispatches per component
+// per cycle. A Gang transposes that layout — one flat vector per value
+// slot and per memory across all lanes — so a GangStepper backend can
+// evaluate each component once per cycle as a loop over lanes, with
+// the per-component dispatch cost amortized across the whole gang.
+// The scalar path's per-cycle contract is preserved exactly: lanes are
+// observationally identical to N independent machines running the same
+// program (same architectural state, statistics, runtime errors at the
+// same cycles), which the cross-path equivalence tests enforce.
+//
+// Divergence is handled with an active-lane list: a lane leaves the
+// gang when it reaches its target cycle (halts) or hits a runtime
+// error (faults out), and the remaining lanes keep stepping. Because a
+// cycle's evaluation phase is idempotent — combinational outputs and
+// input latches are pure functions of the pre-commit state — a lane
+// fault during evaluation simply deactivates the lane and re-runs the
+// cycle's evaluation for the survivors; memory commit, which does
+// mutate state, handles lane faults in place without re-running.
+
+// GangStepper is an optional Evaluator capability: a backend that can
+// evaluate one cycle for a whole gang of lanes in component-major
+// order — for each combinational component (in dependency order) and
+// each memory latch, one loop over the active lanes — against the
+// struct-of-arrays layout a Gang maintains.
+//
+// Layout: vals[slot*stride+lane] is lane's output for slot;
+// addr/data/opn[mem*stride+lane] are lane's latched memory inputs for
+// memory ordinal mem. active lists the lane indices to evaluate, and
+// cycles[lane] is each lane's current cycle (for runtime-error
+// reporting; active lanes need not agree on it).
+//
+// For every active lane the result must be bit-identical to
+// StepCycle/Comb+MemInputs on a Machine in the same state. A per-lane
+// runtime error is reported by panicking with *GangFault (use
+// FailLane); the gang recovers it, faults the lane out and re-runs the
+// evaluation for the remaining lanes, so kernels must not cache state
+// across calls.
+type GangStepper interface {
+	Evaluator
+
+	StepCycleGang(vals []int64, addr, data, opn []int64, stride int, active []int, cycles []int64)
+}
+
+// CanGang reports whether an evaluator supports gang execution.
+func CanGang(e Evaluator) bool {
+	_, ok := e.(GangStepper)
+	return ok
+}
+
+// GangFault carries a per-lane runtime error out of a gang kernel.
+type GangFault struct {
+	Lane int
+	Err  *RuntimeError
+}
+
+// FailLane panics with a GangFault wrapping the same RuntimeError the
+// scalar path's Fail would produce, so a faulted lane reports exactly
+// the error its stand-alone machine would.
+func FailLane(lane int, component string, cycle int64, format string, args ...interface{}) {
+	panic(&GangFault{Lane: lane, Err: &RuntimeError{Component: component, Cycle: cycle, Msg: fmt.Sprintf(format, args...)}})
+}
+
+// Gang holds N lanes of one program's mutable state in struct-of-arrays
+// form and steps them in lockstep through a GangStepper backend. Lanes
+// correspond one-to-one to hook-free machines: no tracing, no I/O, no
+// observers (an input operation faults the lane, exactly as it faults a
+// machine with no input attached; output operations are counted and
+// discarded).
+type Gang struct {
+	info   *sem.Info
+	eval   GangStepper
+	stride int // lane capacity; the slot-to-slot distance in vals
+
+	vals   []int64   // [slot*stride+lane]
+	arrays [][]int64 // per memory ordinal, lane-major: [lane*size+cell]
+	addr   []int64   // [mem*stride+lane]
+	data   []int64   // [mem*stride+lane]
+	opn    []int64   // [mem*stride+lane]
+
+	memSlot []int // slot of each memory, by ordinal
+	memSize []int // cells per lane of each memory, by ordinal
+
+	lanes  int     // lanes configured by the last Reset
+	active []int   // lane indices still stepping, ascending
+	cycle  []int64 // per-lane cycle counter
+	target []int64 // per-lane halt cycle
+	stats  []Stats // per-lane statistics
+	err    []error // per-lane fault, nil while healthy
+}
+
+// NewGang builds a gang of up to capacity lanes for an analyzed spec,
+// or reports ok=false when the evaluator does not implement
+// GangStepper. The gang starts with zero lanes; Reset configures them.
+func NewGang(info *sem.Info, eval Evaluator, capacity int) (*Gang, bool) {
+	gs, ok := eval.(GangStepper)
+	if !ok {
+		return nil, false
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	nm := len(info.Mems)
+	g := &Gang{
+		info:    info,
+		eval:    gs,
+		stride:  capacity,
+		vals:    make([]int64, len(info.Order)*capacity),
+		arrays:  make([][]int64, nm),
+		addr:    make([]int64, nm*capacity),
+		data:    make([]int64, nm*capacity),
+		opn:     make([]int64, nm*capacity),
+		memSlot: make([]int, nm),
+		memSize: make([]int, nm),
+		cycle:   make([]int64, capacity),
+		target:  make([]int64, capacity),
+		stats:   make([]Stats, capacity),
+		err:     make([]error, capacity),
+	}
+	for i, mem := range info.Mems {
+		g.arrays[i] = make([]int64, mem.Size*capacity)
+		g.memSlot[i] = info.Slot[mem.Name]
+		g.memSize[i] = mem.Size
+	}
+	for l := range g.stats {
+		g.stats[l] = Stats{MemOps: make([]MemOpStats, nm)}
+	}
+	return g, true
+}
+
+// Capacity returns the maximum number of lanes the gang can hold.
+func (g *Gang) Capacity() int { return g.stride }
+
+// Lanes returns the number of lanes the last Reset configured.
+func (g *Gang) Lanes() int { return g.lanes }
+
+// Reset configures len(targets) lanes at power-on state — the state
+// Machine.Reset produces — with lane l set to halt upon reaching cycle
+// targets[l]. Reset reuses all backing storage, so a pooled gang is
+// reconfigured without allocation.
+func (g *Gang) Reset(targets []int64) {
+	if len(targets) > g.stride {
+		panic(fmt.Sprintf("sim: gang Reset with %d lanes exceeds capacity %d", len(targets), g.stride))
+	}
+	g.lanes = len(targets)
+	for i := range g.vals {
+		g.vals[i] = 0
+	}
+	for i, mem := range g.info.Mems {
+		arr := g.arrays[i]
+		for j := range arr {
+			arr[j] = 0
+		}
+		size := g.memSize[i]
+		for l := 0; l < g.lanes; l++ {
+			copy(arr[l*size:(l+1)*size], mem.Init)
+		}
+	}
+	for i := range g.addr {
+		g.addr[i], g.data[i], g.opn[i] = 0, 0, 0
+	}
+	for l := 0; l < g.stride; l++ {
+		g.cycle[l] = 0
+		g.target[l] = 0
+		g.err[l] = nil
+		ops := g.stats[l].MemOps
+		for i := range ops {
+			ops[i] = MemOpStats{}
+		}
+		g.stats[l] = Stats{MemOps: ops}
+	}
+	copy(g.target, targets)
+	g.refreshActive()
+}
+
+// refreshActive rebuilds the active-lane list: lanes that have neither
+// faulted nor reached their target cycle.
+func (g *Gang) refreshActive() {
+	g.active = g.active[:0]
+	for l := 0; l < g.lanes; l++ {
+		if g.err[l] == nil && g.cycle[l] < g.target[l] {
+			g.active = append(g.active, l)
+		}
+	}
+}
+
+// Done reports whether every lane has halted or faulted.
+func (g *Gang) Done() bool { return len(g.active) == 0 }
+
+// Step advances every active lane by up to max cycles in lockstep and
+// reports whether any lane remains active. Lanes retire individually:
+// a lane that reaches its target cycle halts, a lane that hits a
+// runtime error records it (LaneErr) and faults out with its state
+// frozen exactly where a stand-alone machine's error would have left
+// it; the other lanes are unaffected. Callers loop Step with a chunk
+// size to interleave cancellation checks, as they would RunBatch.
+func (g *Gang) Step(max int64) bool {
+	for max > 0 && len(g.active) > 0 {
+		max -= g.run(max)
+	}
+	return len(g.active) > 0
+}
+
+// run executes up to max gang cycles inside one recovery scope and
+// returns the number of cycles fully committed. A per-lane evaluation
+// fault (selector error) unwinds to here as a *GangFault: the lane
+// retires with the scalar path's exact error and the interrupted
+// cycle's evaluation re-runs for the survivors. Re-running is safe
+// because evaluation only derives from pre-commit state, and the
+// faulted lane keeps exactly the partial evaluation the scalar path
+// would have aborted with.
+func (g *Gang) run(max int64) (n int64) {
+	defer func() {
+		if r := recover(); r != nil {
+			gf, ok := r.(*GangFault)
+			if !ok {
+				panic(r)
+			}
+			if gf.Lane < 0 || gf.Lane >= g.lanes || g.err[gf.Lane] != nil {
+				panic(fmt.Sprintf("sim: gang kernel reported fault for bad lane %d", gf.Lane))
+			}
+			g.err[gf.Lane] = gf.Err
+			g.refreshActive()
+		}
+	}()
+	for ; n < max && len(g.active) > 0; n++ {
+		g.eval.StepCycleGang(g.vals, g.addr, g.data, g.opn, g.stride, g.active, g.cycle)
+		g.commitAdvance()
+	}
+	return n
+}
+
+// commitAdvance commits every active lane's latched memory operations
+// and advances the lanes that completed the cycle. Commit is
+// lane-major (lanes are independent, so the order across lanes is
+// unobservable); within a lane it is memory-major like the scalar
+// commitMems, and a lane that faults at memory i keeps its earlier
+// memories' commits and skips the rest, exactly like the scalar
+// path's panic unwind.
+func (g *Gang) commitAdvance() {
+	retired := false
+	for _, l := range g.active {
+		ops := g.stats[l].MemOps
+	mems:
+		for i, size := range g.memSize {
+			a, d, op := g.addr[i*g.stride+l], g.data[i*g.stride+l], g.opn[i*g.stride+l]
+			arr := g.arrays[i]
+			base := l * size
+			var temp int64
+			switch op & 3 {
+			case OpRead:
+				if a < 0 || a >= int64(size) {
+					g.failLane(l, g.info.Mems[i].Name, "read address %d outside 0..%d", a, size-1)
+					break mems
+				}
+				temp = arr[base+int(a)]
+				ops[i].Reads++
+			case OpWrite:
+				if a < 0 || a >= int64(size) {
+					g.failLane(l, g.info.Mems[i].Name, "write address %d outside 0..%d", a, size-1)
+					break mems
+				}
+				temp = d
+				arr[base+int(a)] = d
+				ops[i].Writes++
+			case OpInput:
+				// Gang lanes never have an input device, like a machine
+				// built with zero Options.
+				g.failLane(l, g.info.Mems[i].Name, "input operation with no input attached")
+				break mems
+			case OpOutput:
+				// Counted and discarded; zero-Options machines write to
+				// io.Discard.
+				temp = d
+				ops[i].Outputs++
+			}
+			g.vals[g.memSlot[i]*g.stride+l] = temp
+		}
+		if g.err[l] != nil {
+			retired = true
+			continue
+		}
+		g.cycle[l]++
+		g.stats[l].Cycles++
+		if g.cycle[l] >= g.target[l] {
+			retired = true
+		}
+	}
+	if retired {
+		g.refreshActive()
+	}
+}
+
+// failLane records a commit-phase runtime error for one lane, shaped
+// exactly like the scalar path's Fail.
+func (g *Gang) failLane(l int, component string, format string, args ...interface{}) {
+	g.err[l] = &RuntimeError{Component: component, Cycle: g.cycle[l], Msg: fmt.Sprintf(format, args...)}
+}
+
+func (g *Gang) checkLane(l int) {
+	if l < 0 || l >= g.lanes {
+		panic(fmt.Sprintf("sim: gang lane %d outside 0..%d", l, g.lanes-1))
+	}
+}
+
+// LaneCycle returns the number of cycles lane l has executed.
+func (g *Gang) LaneCycle(l int) int64 { g.checkLane(l); return g.cycle[l] }
+
+// LaneErr returns lane l's runtime error, or nil while it is healthy.
+func (g *Gang) LaneErr(l int) error { g.checkLane(l); return g.err[l] }
+
+// LaneStats returns lane l's execution statistics. Like Machine.Stats,
+// the returned value owns its MemOps slice.
+func (g *Gang) LaneStats(l int) Stats {
+	g.checkLane(l)
+	s := g.stats[l]
+	s.MemOps = append([]MemOpStats(nil), s.MemOps...)
+	return s
+}
+
+// LaneValue returns lane l's current output for a component, like
+// Machine.Value.
+func (g *Gang) LaneValue(l int, name string) int64 {
+	g.checkLane(l)
+	slot, ok := g.info.Slot[name]
+	if !ok {
+		panic(fmt.Sprintf("sim: unknown component %q", name))
+	}
+	return g.vals[slot*g.stride+l]
+}
+
+// LaneArchHash folds lane l's architectural state into the same hash
+// Machine.ArchHash computes (shared fold, same slot/ordinal order): a
+// gang lane and a machine in identical state hash identically.
+func (g *Gang) LaneArchHash(l int) uint64 {
+	g.checkLane(l)
+	h := archHashOffset
+	for slot := 0; slot < len(g.info.Order); slot++ {
+		h = archHashWord(h, g.vals[slot*g.stride+l])
+	}
+	for i, arr := range g.arrays {
+		size := g.memSize[i]
+		for _, v := range arr[l*size : (l+1)*size] {
+			h = archHashWord(h, v)
+		}
+	}
+	return h
+}
+
+// laneStateLen mirrors Machine.stateLen for one lane.
+func (g *Gang) laneStateLen() int {
+	n := 8 + // magic
+		8 + 8*len(g.info.Order) + // value vector
+		8 // memory count
+	for _, size := range g.memSize {
+		n += 8 + 8*size
+	}
+	nm := len(g.arrays)
+	n += 3 * 8 * nm // addr/data/opn latches
+	n += 8 + 8      // cycle + stats.Cycles
+	n += 4 * 8 * nm // per-memory operation counters
+	return n
+}
+
+// AppendLaneState appends lane l's state snapshot to buf in exactly
+// the format Machine.AppendState produces: a lane's snapshot restores
+// onto any machine of the same specification and vice versa, which is
+// what lets gang lanes interoperate with the scalar warm-start and
+// state-transfer machinery.
+func (g *Gang) AppendLaneState(l int, buf []byte) []byte {
+	g.checkLane(l)
+	put := func(v int64) {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	put(int64(stateMagic))
+	put(int64(len(g.info.Order)))
+	for slot := 0; slot < len(g.info.Order); slot++ {
+		put(g.vals[slot*g.stride+l])
+	}
+	put(int64(len(g.arrays)))
+	for i, arr := range g.arrays {
+		size := g.memSize[i]
+		put(int64(size))
+		for _, v := range arr[l*size : (l+1)*size] {
+			put(v)
+		}
+	}
+	nm := len(g.arrays)
+	for i := 0; i < nm; i++ {
+		put(g.addr[i*g.stride+l])
+	}
+	for i := 0; i < nm; i++ {
+		put(g.data[i*g.stride+l])
+	}
+	for i := 0; i < nm; i++ {
+		put(g.opn[i*g.stride+l])
+	}
+	put(g.cycle[l])
+	put(g.stats[l].Cycles)
+	for _, ops := range g.stats[l].MemOps {
+		put(ops.Reads)
+		put(ops.Writes)
+		put(ops.Inputs)
+		put(ops.Outputs)
+	}
+	return buf
+}
+
+// SaveLaneState returns a binary snapshot of lane l, byte-identical to
+// what a Machine in the same state would save.
+func (g *Gang) SaveLaneState(l int) []byte {
+	return g.AppendLaneState(l, make([]byte, 0, g.laneStateLen()))
+}
+
+// RestoreLaneState loads a Machine/Gang snapshot into lane l. The
+// snapshot must come from the same specification; a mismatched or
+// corrupt snapshot is rejected before any lane state is modified. A
+// restored lane is healthy again (its fault, if any, is cleared) and
+// resumes stepping until it reaches its target cycle.
+func (g *Gang) RestoreLaneState(l int, st []byte) error {
+	g.checkLane(l)
+	if len(st) != g.laneStateLen() {
+		return fmt.Errorf("sim: snapshot is %d bytes, this gang's lane state is %d", len(st), g.laneStateLen())
+	}
+	get := func(off int) int64 {
+		return int64(binary.LittleEndian.Uint64(st[off:]))
+	}
+	// Validate the full layout before touching any state.
+	if uint64(get(0)) != stateMagic {
+		return fmt.Errorf("sim: not a machine state snapshot (bad magic %#x)", uint64(get(0)))
+	}
+	nslots := len(g.info.Order)
+	if n := get(8); n != int64(nslots) {
+		return fmt.Errorf("sim: snapshot has %d component slots, this gang has %d", n, nslots)
+	}
+	off := 16 + 8*nslots
+	if n := get(off); n != int64(len(g.arrays)) {
+		return fmt.Errorf("sim: snapshot has %d memories, this gang has %d", n, len(g.arrays))
+	}
+	off += 8
+	arrOff := make([]int, len(g.arrays))
+	for i, size := range g.memSize {
+		if n := get(off); n != int64(size) {
+			return fmt.Errorf("sim: snapshot memory %d has %d cells, this gang has %d", i, n, size)
+		}
+		arrOff[i] = off + 8
+		off += 8 + 8*size
+	}
+
+	// Shape verified; scatter everything in.
+	for slot := 0; slot < nslots; slot++ {
+		g.vals[slot*g.stride+l] = get(16 + 8*slot)
+	}
+	for i, arr := range g.arrays {
+		size := g.memSize[i]
+		base := arrOff[i]
+		lane := arr[l*size : (l+1)*size]
+		for j := range lane {
+			lane[j] = get(base + 8*j)
+		}
+	}
+	nm := len(g.arrays)
+	for i := 0; i < nm; i++ {
+		g.addr[i*g.stride+l] = get(off + 8*i)
+		g.data[i*g.stride+l] = get(off + 8*(nm+i))
+		g.opn[i*g.stride+l] = get(off + 8*(2*nm+i))
+	}
+	off += 3 * 8 * nm
+	g.cycle[l] = get(off)
+	g.stats[l].Cycles = get(off + 8)
+	off += 16
+	for i := range g.stats[l].MemOps {
+		g.stats[l].MemOps[i] = MemOpStats{
+			Reads:   get(off),
+			Writes:  get(off + 8),
+			Inputs:  get(off + 16),
+			Outputs: get(off + 24),
+		}
+		off += 32
+	}
+	g.err[l] = nil
+	g.refreshActive()
+	return nil
+}

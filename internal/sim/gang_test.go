@@ -1,0 +1,343 @@
+package sim_test
+
+// Gang/scalar equivalence: a gang lane must be observationally
+// identical to a stand-alone machine running the same program for the
+// same cycle budget — same architectural state hash, same statistics,
+// same runtime error at the same cycle — including gangs whose lanes
+// halt at different cycles and lanes that fault out mid-gang, and
+// lane snapshots must interoperate bit-for-bit with machine snapshots.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machines"
+	"repro/internal/sim"
+	"repro/internal/specgen"
+)
+
+// scalarOutcome runs a fresh machine for budget cycles on the fused
+// batch path and captures everything a gang lane must reproduce.
+type scalarOutcome struct {
+	hash   uint64
+	cycles int64
+	stats  sim.Stats
+	errstr string
+}
+
+func scalarRun(t *testing.T, p *core.Program, budget int64) scalarOutcome {
+	t.Helper()
+	m := p.NewMachine(core.Options{})
+	var errstr string
+	if err := m.RunBatch(budget); err != nil {
+		errstr = err.Error()
+	}
+	return scalarOutcome{hash: m.ArchHash(), cycles: m.Cycle(), stats: m.Stats(), errstr: errstr}
+}
+
+// requireGangEquivalence steps one gang with the given per-lane
+// budgets and checks every lane against its scalar reference.
+func requireGangEquivalence(t *testing.T, name, src string, budgets []int64) {
+	t.Helper()
+	spec, err := core.ParseString(name, src)
+	if err != nil {
+		t.Fatalf("%s: parse: %v\n%s", name, err, src)
+	}
+	p, err := core.Compile(spec, core.Compiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, ok := p.NewGang(len(budgets))
+	if !ok {
+		t.Fatalf("%s: compiled program is not gang-capable", name)
+	}
+	g.Reset(budgets)
+	// Step in deliberately odd chunks to exercise partial progress.
+	for g.Step(7) {
+	}
+	for l, budget := range budgets {
+		want := scalarRun(t, p, budget)
+		label := fmt.Sprintf("%s lane %d (budget %d)", name, l, budget)
+		var errstr string
+		if err := g.LaneErr(l); err != nil {
+			errstr = err.Error()
+		}
+		if errstr != want.errstr {
+			t.Errorf("%s: err %q, scalar has %q", label, errstr, want.errstr)
+		}
+		if got := g.LaneCycle(l); got != want.cycles {
+			t.Errorf("%s: cycle %d, scalar has %d", label, got, want.cycles)
+		}
+		if got := g.LaneArchHash(l); got != want.hash {
+			t.Errorf("%s: arch hash %016x, scalar has %016x\nspec:\n%s", label, got, want.hash, src)
+		}
+		if got := g.LaneStats(l); !reflect.DeepEqual(got, want.stats) {
+			t.Errorf("%s: stats %+v, scalar has %+v", label, got, want.stats)
+		}
+	}
+}
+
+// mixedBudgets returns deliberately divergent per-lane cycle budgets
+// around a base, including a zero-cycle lane and an immediate-halt
+// neighborhood, so lanes retire throughout the gang's run.
+func mixedBudgets(base int64, lanes int) []int64 {
+	budgets := make([]int64, lanes)
+	for l := range budgets {
+		switch l % 4 {
+		case 0:
+			budgets[l] = base
+		case 1:
+			budgets[l] = base / 2
+		case 2:
+			budgets[l] = int64(l)
+		default:
+			budgets[l] = base + int64(7*l)
+		}
+	}
+	return budgets
+}
+
+// TestGangEquivalenceTestdata covers the canonical machines with
+// mixed halt cycles.
+func TestGangEquivalenceTestdata(t *testing.T) {
+	td, err := machines.Testdata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range td {
+		t.Run(name, func(t *testing.T) {
+			requireGangEquivalence(t, name, src, mixedBudgets(512, 8))
+		})
+	}
+}
+
+// TestGangEquivalenceRandom sweeps generated specifications, which
+// exercise per-lane runtime faults (selector and address errors)
+// through the gang path: every lane of an identical-program gang hits
+// the same error at the same cycle its scalar machine does.
+func TestGangEquivalenceRandom(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 12
+	}
+	for seed := 0; seed < n; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(seed)))
+			src := specgen.Generate(rng, specgen.Config{
+				Combs: 1 + rng.Intn(16),
+				Mems:  1 + rng.Intn(4),
+			})
+			requireGangEquivalence(t, fmt.Sprintf("seed%d", seed), src, mixedBudgets(96, 6))
+		})
+	}
+}
+
+// TestGangCapability pins which backends gang: the compiled backend
+// (with and without folding) does, the others fall back.
+func TestGangCapability(t *testing.T) {
+	spec, err := core.ParseString("c", "#c\nc .\nA c 1 0 1\n.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range core.Backends() {
+		p, err := core.Compile(spec, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantGang := b == core.Compiled || b == core.CompiledNoFold
+		if got := p.GangCapable(); got != wantGang {
+			t.Errorf("backend %s: GangCapable = %v, want %v", b, got, wantGang)
+		}
+		g, ok := p.NewGang(4)
+		if ok != wantGang {
+			t.Errorf("backend %s: NewGang ok = %v, want %v", b, ok, wantGang)
+		}
+		if ok {
+			g.Reset([]int64{16, 16, 16, 16})
+			for g.Step(64) {
+			}
+			if c := g.LaneCycle(0); c != 16 {
+				t.Errorf("backend %s: lane 0 ran %d cycles, want 16", b, c)
+			}
+		}
+	}
+}
+
+// TestGangNoFoldEquivalence runs the ablation backend's gang kernels
+// (fully generic lane closures) against its scalar path.
+func TestGangNoFoldEquivalence(t *testing.T) {
+	src, err := machines.SieveSpec(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := core.ParseString("sieve", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Compile(spec, core.CompiledNoFold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgets := []int64{300, 150, 75}
+	g, ok := p.NewGang(len(budgets))
+	if !ok {
+		t.Fatal("compiled-nofold program is not gang-capable")
+	}
+	g.Reset(budgets)
+	for g.Step(32) {
+	}
+	for l, budget := range budgets {
+		want := scalarRun(t, p, budget)
+		if got := g.LaneArchHash(l); got != want.hash {
+			t.Errorf("lane %d: arch hash %016x, scalar has %016x", l, got, want.hash)
+		}
+		if got := g.LaneStats(l); !reflect.DeepEqual(got, want.stats) {
+			t.Errorf("lane %d: stats %+v, scalar has %+v", l, got, want.stats)
+		}
+	}
+}
+
+// TestGangLaneSnapshotInterop proves lane snapshots and machine
+// snapshots are the same format with the same semantics: a machine
+// mid-run restores into a lane and vice versa, and both continuations
+// reach identical state.
+func TestGangLaneSnapshotInterop(t *testing.T) {
+	src, err := machines.SieveSpec(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := core.ParseString("sieve", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Compile(spec, core.Compiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const mid, end = 777, 2048
+
+	// Scalar reference: run to mid, snapshot, run to end.
+	m := p.NewMachine(core.Options{})
+	if err := m.RunBatch(mid); err != nil {
+		t.Fatal(err)
+	}
+	midState := m.SaveState()
+	if err := m.RunBatch(end - mid); err != nil {
+		t.Fatal(err)
+	}
+	wantHash := m.ArchHash()
+	wantStats := m.Stats()
+
+	// Machine snapshot -> lane: restore the mid snapshot into one lane
+	// of a running gang and let the gang finish it.
+	g, ok := p.NewGang(3)
+	if !ok {
+		t.Fatal("not gang-capable")
+	}
+	g.Reset([]int64{end, end, end})
+	g.Step(100) // partial progress on every lane
+	if err := g.RestoreLaneState(1, midState); err != nil {
+		t.Fatalf("RestoreLaneState: %v", err)
+	}
+	if got := g.LaneCycle(1); got != mid {
+		t.Fatalf("restored lane at cycle %d, want %d", got, mid)
+	}
+	for g.Step(97) {
+	}
+	for l := 0; l < 3; l++ {
+		if got := g.LaneArchHash(l); got != wantHash {
+			t.Errorf("lane %d: arch hash %016x, scalar has %016x", l, got, wantHash)
+		}
+	}
+	if got := g.LaneStats(1); !reflect.DeepEqual(got, wantStats) {
+		t.Errorf("restored lane stats %+v, scalar has %+v", got, wantStats)
+	}
+
+	// Lane snapshot -> machine: a lane paused mid-run saves a snapshot
+	// byte-identical to the machine's, and a machine finishes it.
+	g2, _ := p.NewGang(2)
+	g2.Reset([]int64{mid, mid})
+	for g2.Step(64) {
+	}
+	laneState := g2.SaveLaneState(0)
+	if !bytes.Equal(laneState, midState) {
+		t.Fatalf("lane snapshot differs from machine snapshot at cycle %d", mid)
+	}
+	m2 := p.NewMachine(core.Options{})
+	if err := m2.RestoreState(laneState); err != nil {
+		t.Fatalf("machine RestoreState of lane snapshot: %v", err)
+	}
+	if err := m2.RunBatch(end - mid); err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.ArchHash(); got != wantHash {
+		t.Errorf("machine continuation of lane snapshot: arch hash %016x, want %016x", got, wantHash)
+	}
+
+	// Rejection: a corrupt snapshot must not touch lane state.
+	bad := append([]byte(nil), laneState...)
+	bad[0] ^= 0xff
+	before := g2.LaneArchHash(1)
+	if err := g2.RestoreLaneState(1, bad); err == nil {
+		t.Error("RestoreLaneState accepted a corrupt snapshot")
+	}
+	if got := g2.LaneArchHash(1); got != before {
+		t.Error("rejected snapshot modified lane state")
+	}
+}
+
+// TestGangFaultedLaneIsolation injects a guaranteed per-lane fault
+// (via restored divergent state walking a memory address out of
+// range... simpler: a spec whose selector faults at a known cycle) and
+// checks the surviving lanes are unaffected by a neighbor's fault.
+func TestGangFaultedLaneIsolation(t *testing.T) {
+	// The memory counts up each cycle; sel faults once the count
+	// exceeds its two cases, at a small fixed cycle.
+	src := "#faulty\ninc count sel .\nA inc 4 count 1\nM count 0 inc 1 1\nS sel count 0 1\n.\n"
+	spec, err := core.ParseString("faulty", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Compile(spec, core.Compiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lane 0 halts before the fault cycle; lanes 1 and 2 run into it.
+	budgets := []int64{1, 8, 8}
+	g, ok := p.NewGang(len(budgets))
+	if !ok {
+		t.Fatal("not gang-capable")
+	}
+	g.Reset(budgets)
+	for g.Step(3) {
+	}
+	if err := g.LaneErr(0); err != nil {
+		t.Errorf("halted lane 0 has error %v", err)
+	}
+	for l := 1; l <= 2; l++ {
+		want := scalarRun(t, p, budgets[l])
+		if want.errstr == "" {
+			t.Fatalf("scalar reference did not fault; test spec is broken")
+		}
+		err := g.LaneErr(l)
+		if err == nil {
+			t.Fatalf("lane %d did not fault; scalar has %q", l, want.errstr)
+		}
+		if err.Error() != want.errstr {
+			t.Errorf("lane %d err %q, scalar has %q", l, err.Error(), want.errstr)
+		}
+		if got := g.LaneArchHash(l); got != want.hash {
+			t.Errorf("lane %d arch hash %016x, scalar has %016x", l, got, want.hash)
+		}
+		if got := g.LaneStats(l); !reflect.DeepEqual(got, want.stats) {
+			t.Errorf("lane %d stats %+v, scalar has %+v", l, got, want.stats)
+		}
+	}
+	if !g.Done() {
+		t.Error("gang not done after all lanes halted or faulted")
+	}
+}

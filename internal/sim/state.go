@@ -93,19 +93,25 @@ func (m *Machine) AppendState(buf []byte) []byte {
 // elides dead data latches), so identical architectures hash equal on
 // every backend.
 func (m *Machine) ArchHash() uint64 {
-	const offset64, prime64 = uint64(14695981039346656037), uint64(1099511628211)
-	h := offset64
+	h := archHashOffset
 	for _, v := range m.vals {
-		h ^= uint64(v)
-		h *= prime64
+		h = archHashWord(h, v)
 	}
 	for _, arr := range m.arrays {
 		for _, v := range arr {
-			h ^= uint64(v)
-			h *= prime64
+			h = archHashWord(h, v)
 		}
 	}
 	return h
+}
+
+// archHashOffset/archHashWord are the FNV-1a fold shared by
+// Machine.ArchHash and Gang.LaneArchHash: one definition, so the two
+// execution paths cannot drift apart and digests stay comparable.
+const archHashOffset = uint64(14695981039346656037)
+
+func archHashWord(h uint64, v int64) uint64 {
+	return (h ^ uint64(v)) * 1099511628211
 }
 
 // SaveState returns a binary snapshot of the machine's complete
