@@ -42,6 +42,7 @@ import (
 type (
 	Spec         = core.Spec
 	Program      = core.Program
+	ProgramCache = core.ProgramCache
 	Machine      = core.Machine
 	Gang         = core.Gang
 	Options      = core.Options
@@ -75,6 +76,13 @@ func ParseFile(path string) (*Spec, error) { return core.ParseFile(path) }
 // specification once, returning the immutable Program every machine of
 // a fleet can share (Program.NewMachine allocates only mutable state).
 func Compile(s *Spec, b Backend) (*Program, error) { return core.Compile(s, b) }
+
+// NewProgramCache builds an empty content-addressed program cache:
+// Get(spec, backend) compiles each (canonical-spec digest, backend)
+// key at most once and shares the Program thereafter. The serving
+// layer (cmd/asimd) keeps one for all clients; anything compiling
+// repeated or user-supplied specs can do the same.
+func NewProgramCache() *ProgramCache { return core.NewProgramCache() }
 
 // NewMachine builds a simulation machine for a parsed specification: a
 // convenience wrapper equivalent to Compile followed by

@@ -107,6 +107,32 @@ func TestCLIAsimfmtIdempotent(t *testing.T) {
 	}
 }
 
+func TestCLIAsimfmtDigest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	out, _ := runCLI(t, "", "./cmd/asimfmt", "-digest", "testdata/counter.sim")
+	spec, err := ParseFile("testdata/counter.sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := spec.CanonicalDigest() + "\n"; out != want {
+		t.Errorf("asimfmt -digest = %q, want %q", out, want)
+	}
+	// The digest is a function of canonical content, not formatting:
+	// reformatting the file must not change it.
+	canon, _ := runCLI(t, "", "./cmd/asimfmt", "testdata/counter.sim")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.sim")
+	if err := os.WriteFile(path, []byte(canon), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	again, _ := runCLI(t, "", "./cmd/asimfmt", "-digest", path)
+	if again != out {
+		t.Errorf("digest changed across canonicalization: %q vs %q", again, out)
+	}
+}
+
 func TestCLIInteractiveContinuation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns the go toolchain")

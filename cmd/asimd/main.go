@@ -1,0 +1,98 @@
+// Command asimd is the simulation job server: a long-running HTTP
+// daemon over internal/service that accepts campaign jobs as JSON and
+// streams per-run results back as NDJSON while the campaign executes.
+// All jobs share one engine configuration and one content-addressed
+// program cache, behind bounded admission control.
+//
+//	asimd                                 (serve on :8420)
+//	asimd -addr :9000 -workers 8 -gang 32
+//	asimd -jobs 4 -queue 16 -max-cycles 1e9
+//
+// Post a job and stream its results:
+//
+//	curl -N -d '{"scenario":"sieve-fleet","runs":16}' localhost:8420/v1/jobs
+//	curl -N -d "$(jq -Rs '{spec:.,runs:8}' design.sim)" localhost:8420/v1/jobs
+//
+// Observe it:
+//
+//	curl localhost:8420/healthz
+//	curl localhost:8420/metrics
+//	curl localhost:8420/v1/scenarios
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	addr := flag.String("addr", ":8420", "listen address")
+	workers := flag.Int("workers", 0, "engine worker goroutines per job (0 = GOMAXPROCS)")
+	chunk := flag.Int64("chunk", 0, "cycle granularity of cancellation checks (0 = engine default)")
+	gang := flag.Int("gang", 0, "gang width for lockstep execution (0 = engine default, 1 disables)")
+	jobs := flag.Int("jobs", 0, "concurrent job slots (0 = default 2)")
+	queue := flag.Int("queue", 0, "jobs allowed to wait for a slot before 429 (0 = default 8)")
+	maxRuns := flag.Int("max-runs", 0, "per-job run cap (0 = default 4096)")
+	maxCycles := flag.Int64("max-cycles", 0, "per-run cycle cap (0 = default 1e8)")
+	deadline := flag.Duration("deadline", 0, "default per-job deadline (0 = 60s)")
+	maxDeadline := flag.Duration("max-deadline", 0, "cap on requested per-job deadlines (0 = 10m)")
+	maxBody := flag.Int64("max-body", 0, "request body cap in bytes (0 = 1 MiB)")
+	writeTimeout := flag.Duration("write-timeout", 0, "per-line stream write deadline; a non-reading client fails after this (0 = 30s)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		log.Fatal("usage: asimd [flags]; asimd -h lists them")
+	}
+
+	srv := service.New(service.Config{
+		Engine:          campaign.Engine{Workers: *workers, Chunk: *chunk, GangSize: *gang},
+		MaxConcurrent:   *jobs,
+		MaxQueue:        *queue,
+		MaxRuns:         *maxRuns,
+		MaxCycles:       *maxCycles,
+		MaxBody:         *maxBody,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		WriteTimeout:    *writeTimeout,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain gracefully: stop
+	// accepting, let streaming jobs finish (they are deadline-bounded
+	// anyway), then exit.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("asimd: serving on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("asimd: draining")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Fatal(err)
+	}
+	m := srv.Metrics()
+	log.Printf("asimd: served %d jobs (%d completed, %d failed, %d rejected), %d runs, %d cycles",
+		m.JobsAccepted, m.JobsCompleted, m.JobsFailed, m.JobsRejected, m.RunsTotal, m.CyclesTotal)
+}

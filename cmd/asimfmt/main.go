@@ -6,6 +6,12 @@
 //
 //	asimfmt spec.sim            (prints the canonical form)
 //	asimfmt -w spec.sim         (rewrites the file in place)
+//	asimfmt -digest spec.sim    (prints the canonical spec digest)
+//
+// The -digest form prints the SHA-256 of the canonical text — the
+// content half of the (digest, backend) key under which asimd's
+// program cache compiles the spec — so clients can pre-compute the
+// cache key a serving job will hit.
 package main
 
 import (
@@ -22,9 +28,10 @@ func main() {
 	log.SetFlags(0)
 	write := flag.Bool("w", false, "rewrite the file in place instead of printing")
 	extended := flag.Bool("modules", false, "expand the module dialect (D/E/U) while formatting")
+	digest := flag.Bool("digest", false, "print the canonical spec digest (the program-cache key content) instead of the text")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		log.Fatal("usage: asimfmt [-w] spec.sim")
+		log.Fatal("usage: asimfmt [-w | -digest] spec.sim")
 	}
 	path := flag.Arg(0)
 
@@ -41,6 +48,10 @@ func main() {
 	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *digest {
+		fmt.Println(spec.CanonicalDigest())
+		return
 	}
 	out := spec.AST.String()
 

@@ -7,6 +7,7 @@
 //	asimsweep -list
 //	asimsweep sieve-fleet
 //	asimsweep -workers 8 -n 32 sieve-fleet randspec-sweep
+//	asimsweep -gang 64 -n 256 sieve-fleet
 //	asimsweep -json tiny-divide-faults
 //
 // With no scenario arguments every registered scenario runs. The
@@ -48,6 +49,7 @@ func main() {
 	log.SetFlags(0)
 	list := flag.Bool("list", false, "list registered scenarios and exit")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	gang := flag.Int("gang", 0, "gang width for lockstep execution (0 = engine default, 1 disables)")
 	jsonOut := flag.Bool("json", false, "emit JSON (one report object per scenario)")
 	perRun := flag.Bool("runs", false, "include per-run results in the report")
 	n := flag.Int("n", 0, "fleet size / sweep width (0 = scenario default)")
@@ -77,7 +79,7 @@ func main() {
 		Seed:    *seed,
 		Size:    *size,
 	}
-	eng := campaign.Engine{Workers: *workers}
+	eng := campaign.Engine{Workers: *workers, GangSize: *gang}
 	effective := eng.Workers
 	if effective <= 0 {
 		effective = runtime.GOMAXPROCS(0)

@@ -239,6 +239,22 @@ func (e Engine) plan(runs []Run, workers int) plan {
 // error in their Result and Execute returns it; already-finished
 // results are kept.
 func (e Engine) Execute(ctx context.Context, runs []Run) ([]Result, error) {
+	return e.ExecuteStream(ctx, runs, nil)
+}
+
+// ExecuteStream is Execute with streaming delivery: every Result is
+// additionally passed to onResult exactly once, as soon as its run
+// (or its gang) finishes — the serving layer's NDJSON stream rides
+// this. Calls to onResult are serialized (never concurrent), so the
+// callback may write to a shared sink without locking, but they come
+// from worker goroutines in completion order, not index order; a
+// consumer that needs index order has Result.Index, or the returned
+// slice, which is identical to Execute's — same indexed placement,
+// same digests, statistics and errors for any worker count. Runs
+// cancelled before dispatch are delivered too (with ctx's error),
+// after the workers drain. onResult must not call back into the
+// engine for the same campaign. A nil onResult is exactly Execute.
+func (e Engine) ExecuteStream(ctx context.Context, runs []Run, onResult func(Result)) ([]Result, error) {
 	workers := e.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -250,6 +266,18 @@ func (e Engine) Execute(ctx context.Context, runs []Run) ([]Result, error) {
 	p := e.plan(runs, workers)
 	if workers > len(p.jobs) {
 		workers = len(p.jobs)
+	}
+
+	var emitMu sync.Mutex
+	emit := func(idxs []int) {
+		if onResult == nil {
+			return
+		}
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		for _, i := range idxs {
+			onResult(results[i])
+		}
 	}
 
 	jobs := make(chan span)
@@ -270,6 +298,7 @@ func (e Engine) Execute(ctx context.Context, runs []Run) ([]Result, error) {
 				} else {
 					e.execGang(ctx, w, idxs, runs, results)
 				}
+				emit(idxs)
 			}
 		}()
 	}
@@ -291,6 +320,7 @@ dispatch:
 		for _, i := range p.order[s.lo:s.hi] {
 			results[i] = Result{Index: i, Name: runs[i].Name, Group: runs[i].Group, Err: ctx.Err()}
 		}
+		emit(p.order[s.lo:s.hi])
 	}
 	return results, ctx.Err()
 }

@@ -1,0 +1,244 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+)
+
+// JobRequest is the JSON body of POST /v1/jobs. Exactly one of Spec
+// and Scenario selects the workload:
+//
+//   - Spec is specification source text. The job compiles it through
+//     the shared program cache — key (canonical digest, backend) — and
+//     runs a fleet of Runs identical copies, Cycles cycles each.
+//   - Scenario names a registered campaign scenario; Runs, Cycles,
+//     Backend, Seed and Size map onto campaign.Params.
+type JobRequest struct {
+	Spec     string `json:"spec,omitempty"`     // specification source text
+	Modules  bool   `json:"modules,omitempty"`  // parse Spec with the module dialect
+	Scenario string `json:"scenario,omitempty"` // registered scenario name
+
+	Backend string `json:"backend,omitempty"` // default "compiled"
+	Runs    int    `json:"runs,omitempty"`    // fleet size / scenario N (default 1 / scenario default)
+	Cycles  int64  `json:"cycles,omitempty"`  // per-run budget (default: spec's "=" count or 10000)
+	Seed    int64  `json:"seed,omitempty"`    // scenario seed
+	Size    int    `json:"size,omitempty"`    // scenario size parameter
+
+	DeadlineMS int64 `json:"deadline_ms,omitempty"` // per-job deadline (default/cap: server config)
+}
+
+// JobHeader is the stream's first NDJSON line: what was admitted,
+// and — for spec jobs — the content-addressed identity it compiled
+// under and whether the shared program cache already had it.
+type JobHeader struct {
+	Job        string `json:"job"`
+	Runs       int    `json:"runs"`
+	Backend    string `json:"backend,omitempty"`
+	Scenario   string `json:"scenario,omitempty"`
+	SpecDigest string `json:"spec_digest,omitempty"`
+	Cache      string `json:"cache,omitempty"` // "hit" or "miss"
+}
+
+// RunLine is one per-run NDJSON line. Lines stream in completion
+// order; Index is the run's position in the job, so a consumer that
+// wants batch order re-sorts on it. ResultLine is the single encoding
+// of a campaign.Result both the stream and any batch rendering use,
+// which is what makes streamed and batch output byte-identical.
+type RunLine struct {
+	Index     int    `json:"index"`
+	Name      string `json:"name"`
+	Group     string `json:"group,omitempty"`
+	Cycles    int64  `json:"cycles"`
+	MemReads  int64  `json:"mem_reads"`
+	MemWrites int64  `json:"mem_writes"`
+	Digest    string `json:"digest"`
+	Activated int64  `json:"activated,omitempty"`
+	Err       string `json:"error,omitempty"`
+}
+
+// ResultLine renders a campaign result as its stream line.
+func ResultLine(r campaign.Result) RunLine {
+	line := RunLine{
+		Index:     r.Index,
+		Name:      r.Name,
+		Group:     r.Group,
+		Cycles:    r.Cycles,
+		MemReads:  r.Stats.MemReads(),
+		MemWrites: r.Stats.MemWrites(),
+		Digest:    r.Digest,
+	}
+	for _, a := range r.Activated {
+		line.Activated += a
+	}
+	if r.Err != nil {
+		line.Err = r.Err.Error()
+	}
+	return line
+}
+
+// JobTrailer is the stream's final NDJSON line.
+type JobTrailer struct {
+	Done    bool             `json:"done"`
+	Summary campaign.Summary `json:"summary"`
+	Err     string           `json:"error,omitempty"`
+}
+
+// job is an admitted unit of work: the built runs plus the header
+// line describing them.
+type job struct {
+	header JobHeader
+	runs   []campaign.Run
+}
+
+// newJob validates a request and builds its runs. Every path that
+// errors here is a client error (400): bad source, unknown scenario
+// or backend, limits exceeded.
+func (s *Server) newJob(req JobRequest) (*job, error) {
+	switch {
+	case req.Spec == "" && req.Scenario == "":
+		return nil, errors.New("job needs a spec or a scenario")
+	case req.Spec != "" && req.Scenario != "":
+		return nil, errors.New("job takes a spec or a scenario, not both")
+	}
+	if req.Runs < 0 || req.Cycles < 0 || req.DeadlineMS < 0 {
+		return nil, errors.New("runs, cycles and deadline_ms must be non-negative")
+	}
+	id := fmt.Sprintf("j%d", s.jobSeq.Add(1))
+	if req.Scenario != "" {
+		return s.newScenarioJob(id, req)
+	}
+	return s.newSpecJob(id, req)
+}
+
+func (s *Server) newSpecJob(id string, req JobRequest) (*job, error) {
+	backend := core.Backend(req.Backend)
+	if backend == "" {
+		backend = core.Compiled
+	}
+	// Backends are a closed set; validating before the cache keeps the
+	// key space client-independent — garbage backend strings must not
+	// grow the never-evicted cache one error entry per spelling.
+	if err := validBackend(backend); err != nil {
+		return nil, err
+	}
+	parse := core.ParseString
+	if req.Modules {
+		parse = core.ParseExtendedString
+	}
+	spec, err := parse("job", req.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %v", err)
+	}
+	n := req.Runs
+	if n == 0 {
+		n = 1
+	}
+	cycles := req.Cycles
+	if cycles == 0 {
+		cycles = spec.DefaultCycles(10000)
+	}
+	if err := s.checkLimits(n, cycles); err != nil {
+		return nil, err
+	}
+	// The content-addressed compile: one compilation per (digest,
+	// backend) across every client the server will ever see. The
+	// digest is rendered once and reused for the header.
+	digest := spec.CanonicalDigest()
+	prog, hit, err := s.cache.GetDigest(digest, spec, backend)
+	if err != nil {
+		return nil, fmt.Errorf("compile: %v", err)
+	}
+	cache := "miss"
+	if hit {
+		cache = "hit"
+	}
+	return &job{
+		header: JobHeader{
+			Job:        id,
+			Runs:       n,
+			Backend:    string(backend),
+			SpecDigest: digest,
+			Cache:      cache,
+		},
+		// The fleet is named "job", not by the job id, so two identical
+		// jobs stream byte-identical run lines — only the header
+		// differs (job id, cache hit vs miss).
+		runs: campaign.Fleet("job", prog, n, cycles),
+	}, nil
+}
+
+// scenarioSizeCap bounds a scenario's Size parameter: Size feeds spec
+// generation (memory array lengths), which Build materializes before
+// any post-Build check could see it.
+const scenarioSizeCap = 1 << 20
+
+func (s *Server) newScenarioJob(id string, req JobRequest) (*job, error) {
+	sc, ok := campaign.Lookup(req.Scenario)
+	if !ok {
+		return nil, fmt.Errorf("unknown scenario %q (have %v)", req.Scenario, campaign.Names())
+	}
+	if req.Backend != "" {
+		if err := validBackend(core.Backend(req.Backend)); err != nil {
+			return nil, err
+		}
+	}
+	// The requested parameters are capped before Build runs: Build
+	// materializes the run slice (and, for sweeps, generates and
+	// compiles specs), so a post-Build check could not prevent the
+	// allocation the caps exist to bound. The post-Build check below
+	// still governs what the scenario actually produced from its own
+	// defaults and multipliers.
+	if err := s.checkLimits(req.Runs, req.Cycles); err != nil {
+		return nil, err
+	}
+	if req.Size > scenarioSizeCap {
+		return nil, fmt.Errorf("job asks for size %d; this server caps scenario size at %d", req.Size, scenarioSizeCap)
+	}
+	runs, err := sc.Build(campaign.Params{
+		N:       req.Runs,
+		Cycles:  req.Cycles,
+		Backend: core.Backend(req.Backend),
+		Seed:    req.Seed,
+		Size:    req.Size,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %v", req.Scenario, err)
+	}
+	// Post-Build check: what the scenario produced from its own
+	// defaults and multipliers must respect the caps too.
+	maxCycles := int64(0)
+	for _, r := range runs {
+		if r.Cycles > maxCycles {
+			maxCycles = r.Cycles
+		}
+	}
+	if err := s.checkLimits(len(runs), maxCycles); err != nil {
+		return nil, err
+	}
+	return &job{
+		header: JobHeader{Job: id, Runs: len(runs), Scenario: req.Scenario},
+		runs:   runs,
+	}, nil
+}
+
+func validBackend(b core.Backend) error {
+	for _, k := range core.Backends() {
+		if b == k {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown backend %q (have %v)", b, core.Backends())
+}
+
+func (s *Server) checkLimits(runs int, cycles int64) error {
+	if max := s.cfg.maxRuns(); runs > max {
+		return fmt.Errorf("job asks for %d runs; this server caps jobs at %d", runs, max)
+	}
+	if max := s.cfg.maxCycles(); cycles > max {
+		return fmt.Errorf("job asks for %d cycles per run; this server caps runs at %d", cycles, max)
+	}
+	return nil
+}

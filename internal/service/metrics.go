@@ -1,0 +1,65 @@
+package service
+
+import "sync/atomic"
+
+// counters is the server's internal metric state. Everything is a
+// plain atomic so the hot path (one job) touches a handful of adds.
+type counters struct {
+	jobsAccepted  atomic.Int64
+	jobsCompleted atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsRejected  atomic.Int64
+	jobsAbandoned atomic.Int64
+	jobsBad       atomic.Int64
+	jobsActive    atomic.Int64
+	runsTotal     atomic.Int64
+	cyclesTotal   atomic.Int64
+	busyNanos     atomic.Int64
+}
+
+// Metrics is one consistent-enough snapshot of the server's counters,
+// served as JSON by GET /metrics. Counters are monotonic over the
+// server's lifetime; JobsActive and QueueDepth are gauges.
+type Metrics struct {
+	JobsAccepted  int64 `json:"jobs_accepted"`  // admitted to run (after any queueing)
+	JobsCompleted int64 `json:"jobs_completed"` // finished without an engine error
+	JobsFailed    int64 `json:"jobs_failed"`    // deadline exceeded / client gone
+	JobsRejected  int64 `json:"jobs_rejected"`  // 429: queue full
+	JobsAbandoned int64 `json:"jobs_abandoned"` // client disconnected while queued (never accepted)
+	JobsBad       int64 `json:"jobs_bad"`       // 400: malformed or over limits
+	JobsActive    int64 `json:"jobs_active"`    // gauge: executing right now
+	QueueDepth    int64 `json:"queue_depth"`    // gauge: waiting for a slot
+
+	RunsTotal   int64   `json:"runs_total"`   // runs across all finished jobs
+	CyclesTotal int64   `json:"cycles_total"` // simulated cycles across all finished jobs
+	BusySeconds float64 `json:"busy_seconds"` // summed per-job wall-clock
+	CyclesPerS  float64 `json:"cycles_per_s"` // CyclesTotal / BusySeconds
+
+	CacheHits     int64 `json:"cache_hits"`     // program-cache hits
+	CacheMisses   int64 `json:"cache_misses"`   // program-cache compilations
+	CachePrograms int   `json:"cache_programs"` // distinct cached (digest, backend) keys
+}
+
+// Metrics snapshots the server's counters.
+func (s *Server) Metrics() Metrics {
+	m := Metrics{
+		JobsAccepted:  s.met.jobsAccepted.Load(),
+		JobsCompleted: s.met.jobsCompleted.Load(),
+		JobsFailed:    s.met.jobsFailed.Load(),
+		JobsRejected:  s.met.jobsRejected.Load(),
+		JobsAbandoned: s.met.jobsAbandoned.Load(),
+		JobsBad:       s.met.jobsBad.Load(),
+		JobsActive:    s.met.jobsActive.Load(),
+		QueueDepth:    s.queued.Load(),
+		RunsTotal:     s.met.runsTotal.Load(),
+		CyclesTotal:   s.met.cyclesTotal.Load(),
+		BusySeconds:   float64(s.met.busyNanos.Load()) / 1e9,
+		CacheHits:     s.cache.Hits(),
+		CacheMisses:   s.cache.Misses(),
+		CachePrograms: s.cache.Len(),
+	}
+	if m.BusySeconds > 0 {
+		m.CyclesPerS = float64(m.CyclesTotal) / m.BusySeconds
+	}
+	return m
+}

@@ -1,0 +1,325 @@
+// Package service is the serving subsystem: a long-running HTTP
+// front end over the campaign engine that turns the repo's batch
+// throughput stack — compile-once Programs, pooled machines, gang
+// execution — into a system under load. Concurrent clients POST
+// simulation jobs (a specification source or a named scenario plus
+// options) and read per-run results back as NDJSON while the
+// campaign is still executing.
+//
+// Three serving concerns shape the package:
+//
+//   - Admission control. Jobs run on a bounded set of slots with a
+//     bounded wait queue behind them; a client that would overflow the
+//     queue gets 429 immediately instead of an unbounded goroutine.
+//   - Compilation caching. Every spec job compiles through one shared
+//     core.ProgramCache, content-addressed by (canonical-spec digest,
+//     backend) — identical designs posted by any number of clients
+//     compile exactly once, and the stream's header says whether the
+//     job hit. `asimfmt -digest` prints the same digest clients can
+//     pre-compute.
+//   - Streaming. Results ride campaign.Engine.ExecuteStream: each
+//     run's line is written and flushed as its run (or gang) retires,
+//     so a fleet's early finishers are on the wire while late runs
+//     still simulate. A trailer line carries the campaign summary.
+//
+// Endpoints: POST /v1/jobs (NDJSON stream), GET /v1/scenarios,
+// GET /healthz, GET /metrics (JSON counters).
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+)
+
+// Config parameterizes a Server. The zero value of every field picks
+// a sensible default, so Config{} serves.
+type Config struct {
+	// Engine executes every job's campaign. The engine is shared by
+	// value — engines hold no state between Execute calls — so one
+	// configuration (Workers, Chunk, GangSize) governs all jobs.
+	Engine campaign.Engine
+
+	// Cache is the shared program cache; nil builds a fresh one.
+	Cache *core.ProgramCache
+
+	// MaxConcurrent is how many jobs execute simultaneously; <= 0
+	// means 2. Each job internally parallelizes across the engine's
+	// workers, so a small number of slots saturates the machine.
+	MaxConcurrent int
+
+	// MaxQueue is how many admitted jobs may wait for a slot; <= 0
+	// means 8. A job past the queue is rejected with 429.
+	MaxQueue int
+
+	// MaxRuns caps a single job's run count; <= 0 means 4096.
+	MaxRuns int
+
+	// MaxCycles caps a single run's cycle budget; <= 0 means 10^8.
+	MaxCycles int64
+
+	// MaxBody caps the request body in bytes; <= 0 means 1 MiB.
+	MaxBody int64
+
+	// DefaultDeadline bounds a job that does not ask for a deadline;
+	// <= 0 means 60s. MaxDeadline caps what a job may ask for; <= 0
+	// means 10m.
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+
+	// WriteTimeout bounds each streamed line's write; <= 0 means 30s.
+	// A connected client that stops reading fails its next line after
+	// this long instead of wedging an engine worker (and with it a job
+	// slot) on a blocked Write; the job's campaign is cancelled at the
+	// same moment. A server-wide http.Server.WriteTimeout would be
+	// wrong here — it would kill legitimately long streams.
+	WriteTimeout time.Duration
+}
+
+func (c Config) maxConcurrent() int { return defInt(c.MaxConcurrent, 2) }
+func (c Config) maxQueue() int      { return defInt(c.MaxQueue, 8) }
+func (c Config) maxRuns() int       { return defInt(c.MaxRuns, 4096) }
+func (c Config) maxCycles() int64 {
+	if c.MaxCycles > 0 {
+		return c.MaxCycles
+	}
+	return 100_000_000
+}
+func (c Config) maxBody() int64 {
+	if c.MaxBody > 0 {
+		return c.MaxBody
+	}
+	return 1 << 20
+}
+func (c Config) defaultDeadline() time.Duration { return defDur(c.DefaultDeadline, 60*time.Second) }
+func (c Config) maxDeadline() time.Duration     { return defDur(c.MaxDeadline, 10*time.Minute) }
+func (c Config) writeTimeout() time.Duration    { return defDur(c.WriteTimeout, 30*time.Second) }
+
+func defInt(v, def int) int {
+	if v > 0 {
+		return v
+	}
+	return def
+}
+
+func defDur(v, def time.Duration) time.Duration {
+	if v > 0 {
+		return v
+	}
+	return def
+}
+
+// Server is the HTTP serving layer. Create with New; Server is an
+// http.Handler, so it mounts under httptest, http.Server or any mux.
+type Server struct {
+	cfg   Config
+	cache *core.ProgramCache
+	mux   *http.ServeMux
+
+	slots  chan struct{} // running-job slots (capacity MaxConcurrent)
+	queued atomic.Int64  // jobs waiting for a slot
+
+	jobSeq atomic.Int64
+	met    counters
+}
+
+// New builds a Server from the config.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:   cfg,
+		cache: cfg.Cache,
+		slots: make(chan struct{}, cfg.maxConcurrent()),
+	}
+	if s.cache == nil {
+		s.cache = core.NewProgramCache()
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJob)
+	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Cache returns the server's shared program cache.
+func (s *Server) Cache() *core.ProgramCache { return s.cache }
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
+	type scenario struct {
+		Name          string `json:"name"`
+		Desc          string `json:"desc"`
+		FaultCampaign bool   `json:"fault_campaign,omitempty"`
+	}
+	var out []scenario
+	for _, name := range campaign.Names() {
+		sc, _ := campaign.Lookup(name)
+		out = append(out, scenario{Name: sc.Name, Desc: sc.Desc, FaultCampaign: sc.FaultCampaign})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleJob admits, executes and streams one job. The response is
+// NDJSON: a JobHeader line, one RunLine per run in completion order
+// (each flushed as its run retires), and a JobTrailer line with the
+// campaign summary.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.maxBody()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.met.jobsBad.Add(1)
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad job request: %v", err)})
+		return
+	}
+
+	// Admission: take a slot if one is free; otherwise wait in the
+	// bounded queue; past the queue, reject. Admission precedes the
+	// expensive half of the job — parsing and compiling the spec — so
+	// an oversubscribed server answers 429 promptly and cheaply
+	// instead of accumulating compile work it will never run.
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		if s.queued.Add(1) > int64(s.cfg.maxQueue()) {
+			s.queued.Add(-1)
+			s.met.jobsRejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "queue full"})
+			return
+		}
+		select {
+		case s.slots <- struct{}{}:
+			s.queued.Add(-1)
+		case <-r.Context().Done():
+			// The client gave up while queued: the job was never
+			// accepted, so it is neither a failure nor a rejection.
+			s.queued.Add(-1)
+			s.met.jobsAbandoned.Add(1)
+			return
+		}
+	}
+	defer func() { <-s.slots }()
+
+	job, err := s.newJob(req)
+	if err != nil {
+		s.met.jobsBad.Add(1)
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+
+	s.met.jobsAccepted.Add(1)
+	s.met.jobsActive.Add(1)
+	defer s.met.jobsActive.Add(-1)
+
+	deadline := s.cfg.defaultDeadline()
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	if max := s.cfg.maxDeadline(); deadline > max {
+		deadline = max
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Job-Id", job.header.Job)
+	out := &lineWriter{
+		w:       w,
+		rc:      http.NewResponseController(w),
+		timeout: s.cfg.writeTimeout(),
+		cancel:  cancel,
+	}
+	out.line(job.header)
+
+	t0 := time.Now()
+	results, execErr := s.cfg.Engine.ExecuteStream(ctx, job.runs, func(res campaign.Result) {
+		out.line(ResultLine(res))
+	})
+	elapsed := time.Since(t0)
+
+	sum := campaign.Summarize(results, elapsed)
+	trailer := JobTrailer{Done: true, Summary: sum}
+	if execErr != nil {
+		trailer.Err = execErr.Error()
+		s.met.jobsFailed.Add(1)
+	} else {
+		s.met.jobsCompleted.Add(1)
+	}
+	s.met.runsTotal.Add(int64(sum.Runs))
+	s.met.cyclesTotal.Add(sum.Cycles)
+	s.met.busyNanos.Add(int64(elapsed))
+	out.line(trailer)
+	// The per-line write deadline is connection state, not request
+	// state: left set, it would poison the next request on a
+	// keep-alive connection once it expires.
+	_ = out.rc.SetWriteDeadline(time.Time{})
+}
+
+// lineWriter writes NDJSON lines, flushing after each so results are
+// on the wire while the campaign still runs. Each write carries a
+// deadline: a connected client that stops reading fails the line
+// after timeout instead of blocking the engine worker delivering it.
+// The first error latches and cancels the job's campaign — a client
+// that cannot receive results should not keep burning a job slot.
+type lineWriter struct {
+	w       http.ResponseWriter
+	rc      *http.ResponseController
+	timeout time.Duration
+	cancel  context.CancelFunc
+	err     error
+}
+
+func (lw *lineWriter) line(v any) {
+	if lw.err != nil {
+		return
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		lw.fail(err)
+		return
+	}
+	data = append(data, '\n')
+	// Best-effort: a ResponseWriter without deadline support just
+	// writes unbounded, as before.
+	_ = lw.rc.SetWriteDeadline(time.Now().Add(lw.timeout))
+	if _, err := lw.w.Write(data); err != nil {
+		lw.fail(err)
+		return
+	}
+	if err := lw.rc.Flush(); err != nil {
+		lw.fail(err)
+	}
+}
+
+func (lw *lineWriter) fail(err error) {
+	lw.err = err
+	if lw.cancel != nil {
+		lw.cancel()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
