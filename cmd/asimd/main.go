@@ -7,11 +7,18 @@
 //	asimd                                 (serve on :8420)
 //	asimd -addr :9000 -workers 8 -gang 32
 //	asimd -jobs 4 -queue 16 -max-cycles 1e9
+//	asimd -state-dir /var/lib/asimd       (durable: jobs survive restarts)
 //
 // Post a job and stream its results:
 //
 //	curl -N -d '{"scenario":"sieve-fleet","runs":16}' localhost:8420/v1/jobs
 //	curl -N -d "$(jq -Rs '{spec:.,runs:8}' design.sim)" localhost:8420/v1/jobs
+//
+// Resume a dropped stream (with -state-dir): present the job id from
+// the header or X-Job-Id plus how many run lines arrived, and the
+// remainder replays byte-identically:
+//
+//	curl -N -d '{"resume":{"job":"j7","delivered":5}}' localhost:8420/v1/jobs
 //
 // Observe it:
 //
@@ -31,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/durable"
 	"repro/internal/service"
 )
 
@@ -48,22 +56,49 @@ func main() {
 	maxDeadline := flag.Duration("max-deadline", 0, "cap on requested per-job deadlines (0 = 10m)")
 	maxBody := flag.Int64("max-body", 0, "request body cap in bytes (0 = 1 MiB)")
 	writeTimeout := flag.Duration("write-timeout", 0, "per-line stream write deadline; a non-reading client fails after this (0 = 30s)")
+	stateDir := flag.String("state-dir", "", "durable job store directory; jobs survive restarts and dropped streams resume (empty = durability off)")
+	ckptCycles := flag.Int64("checkpoint-cycles", 0, "cycles between run state checkpoints into -state-dir (0 = default 65536)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		log.Fatal("usage: asimd [flags]; asimd -h lists them")
 	}
 
+	var store durable.Store
+	if *stateDir != "" {
+		fs, err := durable.OpenFileStore(*stateDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer fs.Close()
+		store = fs
+	}
+
 	srv := service.New(service.Config{
-		Engine:          campaign.Engine{Workers: *workers, Chunk: *chunk, GangSize: *gang},
-		MaxConcurrent:   *jobs,
-		MaxQueue:        *queue,
-		MaxRuns:         *maxRuns,
-		MaxCycles:       *maxCycles,
-		MaxBody:         *maxBody,
-		DefaultDeadline: *deadline,
-		MaxDeadline:     *maxDeadline,
-		WriteTimeout:    *writeTimeout,
+		Engine:           campaign.Engine{Workers: *workers, Chunk: *chunk, GangSize: *gang},
+		MaxConcurrent:    *jobs,
+		MaxQueue:         *queue,
+		MaxRuns:          *maxRuns,
+		MaxCycles:        *maxCycles,
+		MaxBody:          *maxBody,
+		DefaultDeadline:  *deadline,
+		MaxDeadline:      *maxDeadline,
+		WriteTimeout:     *writeTimeout,
+		Store:            store,
+		CheckpointCycles: *ckptCycles,
 	})
+
+	// Recovery precedes serving: incomplete jobs from the previous
+	// process re-admit and finish in the background, and the job id
+	// sequence advances past everything in the store.
+	if store != nil {
+		n, err := srv.Recover()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if n > 0 {
+			log.Printf("asimd: recovered %d interrupted job(s) from %s", n, *stateDir)
+		}
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -137,6 +137,43 @@ type Engine struct {
 	// keep every worker busy — parallelism is worth more than
 	// dispatch amortization (see plan).
 	GangSize int
+
+	// Checkpoint, when non-nil, receives binary state snapshots of
+	// in-flight runs: every CheckpointEvery simulated cycles and once
+	// more when the run (or its gang) retires — including retirement by
+	// context cancellation, so the last snapshot of an interrupted
+	// campaign is at most CheckpointEvery cycles behind where execution
+	// stopped. Only checkpointable runs emit (see Checkpointer); calls
+	// come concurrently from worker goroutines.
+	Checkpoint Checkpointer
+
+	// CheckpointEvery is the cycle interval between periodic
+	// checkpoints of one run; <= 0 emits only at retirement.
+	CheckpointEvery int64
+}
+
+// Checkpointer is the engine's durability hook. Checkpoint is called
+// with the run's index in the campaign's run slice, the absolute
+// cycle the snapshot was taken at, and the Machine.SaveState-format
+// snapshot bytes. The bytes are only valid for the duration of the
+// call (the engine reuses the buffer); an implementation that retains
+// them must copy. Calls may come concurrently from several worker
+// goroutines — implementations synchronize themselves — but calls for
+// one run are ordered by cycle.
+//
+// Only runs whose state a snapshot fully captures are checkpointed:
+// zero Options (no I/O or trace position to lose) and no injected
+// faults (an injector's activation bookkeeping lives outside the
+// machine). Everything else executes exactly as before, it just never
+// emits — restarting such a run from cycle zero is always correct.
+type Checkpointer interface {
+	Checkpoint(run int, cycle int64, state []byte)
+}
+
+// runCheckpointable reports whether a run's snapshots are sufficient
+// to resume it: machine state must be the whole story.
+func runCheckpointable(r Run) bool {
+	return r.Program != nil && r.Opts == (core.Options{}) && len(r.Faults) == 0
 }
 
 // DefaultGangSize is the gang width Engine uses when GangSize is 0 —
@@ -332,6 +369,7 @@ type worker struct {
 	gangs   map[*core.Program]*sim.Gang
 	gangCap int
 	targets []int64 // reused per-gang-job cycle budget buffer
+	ckbuf   []byte  // reused checkpoint snapshot buffer
 }
 
 // gang returns a pooled gang for the program with room for lanes, or
@@ -386,8 +424,23 @@ func (e Engine) execGang(ctx context.Context, w *worker, idxs []int, runs []Run,
 	if chunk <= 0 {
 		chunk = 4096
 	}
+	// Gang lanes are gangable by construction, and gangable implies
+	// checkpointable (zero Options, no faults), so the whole gang
+	// checkpoints together: every lane snapshots at the same stepping
+	// boundary, SaveLaneState bytes being interchangeable with
+	// Machine.SaveState by design.
+	var sinceCk int64
 	var ctxErr error
 	for g.Step(chunk) {
+		if e.Checkpoint != nil && e.CheckpointEvery > 0 {
+			if sinceCk += chunk; sinceCk >= e.CheckpointEvery {
+				sinceCk = 0
+				for l, i := range idxs {
+					w.ckbuf = g.AppendLaneState(l, w.ckbuf[:0])
+					e.Checkpoint.Checkpoint(i, g.LaneCycle(l), w.ckbuf)
+				}
+			}
+		}
 		if err := ctx.Err(); err != nil {
 			ctxErr = err
 			break
@@ -402,6 +455,14 @@ func (e Engine) execGang(ctx context.Context, w *worker, idxs []int, runs []Run,
 			res.Err = ctxErr
 		}
 		res.Digest = hashHex(g.LaneArchHash(l))
+		if e.Checkpoint != nil && g.LaneErr(l) == nil {
+			// Retirement (or interruption) checkpoint: emitted for clean
+			// and cancelled lanes alike — a cancelled lane's snapshot is
+			// the one resume continues from. Lanes that died on a runtime
+			// error are terminal — nothing to resume.
+			w.ckbuf = g.AppendLaneState(l, w.ckbuf[:0])
+			e.Checkpoint.Checkpoint(i, res.Cycles, w.ckbuf)
+		}
 	}
 }
 
@@ -467,6 +528,8 @@ func (e Engine) exec(ctx context.Context, w *worker, idx int, r Run) Result {
 	if chunk <= 0 {
 		chunk = 4096
 	}
+	ckpt := e.Checkpoint != nil && runCheckpointable(r)
+	var sinceCk int64
 	// Each chunk goes through the fused batch fast path when the run's
 	// machine supports it (compiled backend, no observers attached);
 	// fault runs attach after-commit hooks and fall back automatically.
@@ -481,6 +544,19 @@ func (e Engine) exec(ctx context.Context, w *worker, idx int, r Run) Result {
 			break
 		}
 		remaining -= n
+		if ckpt && e.CheckpointEvery > 0 {
+			if sinceCk += n; sinceCk >= e.CheckpointEvery {
+				sinceCk = 0
+				w.ckbuf = m.AppendState(w.ckbuf[:0])
+				e.Checkpoint.Checkpoint(idx, m.Cycle(), w.ckbuf)
+			}
+		}
+	}
+	if ckpt && (res.Err == nil || res.Err == ctx.Err()) {
+		// Retirement (or interruption) checkpoint; runs that died on a
+		// runtime error are terminal and emit nothing.
+		w.ckbuf = m.AppendState(w.ckbuf[:0])
+		e.Checkpoint.Checkpoint(idx, m.Cycle(), w.ckbuf)
 	}
 
 	res.Cycles = m.Cycle()

@@ -1,0 +1,264 @@
+package campaign_test
+
+// Engine checkpointing tests: the Checkpointer hook must emit
+// restorable snapshots on both execution paths (pooled scalar and
+// gang), and a campaign resumed from any checkpoint must finish
+// byte-identical to the uninterrupted execution — the property the
+// serving layer's durability rides on.
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/machines"
+	"repro/internal/sim"
+)
+
+// memCheckpointer records every checkpoint, keeping the full cycle
+// history and a copy of each run's earliest and latest snapshots.
+type memCheckpointer struct {
+	mu     sync.Mutex
+	cycles map[int][]int64
+	first  map[int][]byte
+	firstC map[int]int64
+	latest map[int][]byte
+	lastC  map[int]int64
+}
+
+func newMemCheckpointer() *memCheckpointer {
+	return &memCheckpointer{
+		cycles: map[int][]int64{},
+		first:  map[int][]byte{},
+		firstC: map[int]int64{},
+		latest: map[int][]byte{},
+		lastC:  map[int]int64{},
+	}
+}
+
+func (c *memCheckpointer) Checkpoint(run int, cycle int64, state []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cycles[run] = append(c.cycles[run], cycle)
+	if _, ok := c.first[run]; !ok {
+		c.first[run] = append([]byte(nil), state...)
+		c.firstC[run] = cycle
+	}
+	c.latest[run] = append(c.latest[run][:0], state...)
+	c.lastC[run] = cycle
+}
+
+func sieveProgram(t *testing.T) *core.Program {
+	t.Helper()
+	src, err := machines.SieveSpec(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := core.ParseString("sieve", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Compile(spec, core.Compiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestEngineCheckpoints: both execution paths emit periodic
+// checkpoints with monotonic cycles, a retirement checkpoint at the
+// target cycle, and snapshot bytes whose embedded cycle counter
+// (sim.SnapshotCycle — the exported framing) matches the reported one.
+func TestEngineCheckpoints(t *testing.T) {
+	p := sieveProgram(t)
+	const runs, cycles, every = 5, 1000, 128
+	for name, gang := range map[string]int{"scalar": 1, "gang": 4} {
+		t.Run(name, func(t *testing.T) {
+			ck := newMemCheckpointer()
+			eng := campaign.Engine{Workers: 2, Chunk: 64, GangSize: gang,
+				Checkpoint: ck, CheckpointEvery: every}
+			if _, err := eng.Execute(context.Background(), campaign.Fleet("f", p, runs, cycles)); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < runs; i++ {
+				hist := ck.cycles[i]
+				if len(hist) < 2 {
+					t.Fatalf("run %d: %d checkpoints, want periodic + retirement", i, len(hist))
+				}
+				for j := 1; j < len(hist); j++ {
+					if hist[j] < hist[j-1] {
+						t.Errorf("run %d: checkpoint cycles not monotonic: %v", i, hist)
+					}
+				}
+				if last := hist[len(hist)-1]; last != cycles {
+					t.Errorf("run %d: retirement checkpoint at cycle %d, want %d", i, last, cycles)
+				}
+				got, err := sim.SnapshotCycle(ck.latest[i])
+				if err != nil {
+					t.Fatalf("run %d: latest snapshot unreadable: %v", i, err)
+				}
+				if got != ck.lastC[i] {
+					t.Errorf("run %d: snapshot says cycle %d, hook reported %d", i, got, ck.lastC[i])
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointResumeByteIdentical: completing a run from its first
+// periodic checkpoint (via WarmStartFromState) reproduces the
+// uninterrupted run exactly — same digest, cycle count and statistics
+// — whether the original checkpoints came from the scalar or the gang
+// path. This is the durability layer's correctness bar.
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	p := sieveProgram(t)
+	const runs, cycles, every = 4, 900, 128
+	ref, err := campaign.Engine{Workers: 2, Chunk: 64}.
+		Execute(context.Background(), campaign.Fleet("f", p, runs, cycles))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, gang := range map[string]int{"scalar": 1, "gang": 4} {
+		t.Run(name, func(t *testing.T) {
+			ck := newMemCheckpointer()
+			eng := campaign.Engine{Workers: 2, Chunk: 64, GangSize: gang,
+				Checkpoint: ck, CheckpointEvery: every}
+			if _, err := eng.Execute(context.Background(), campaign.Fleet("f", p, runs, cycles)); err != nil {
+				t.Fatal(err)
+			}
+			// Resume every run from its earliest (mid-flight) checkpoint.
+			resumed := campaign.Fleet("f", p, runs, cycles)
+			for i := range resumed {
+				st, cyc := ck.first[i], ck.firstC[i]
+				if cyc <= 0 || cyc >= cycles {
+					t.Fatalf("run %d: first checkpoint at %d is not mid-flight", i, cyc)
+				}
+				resumed[i].Warm = campaign.WarmStartFromState(p, cyc, st)
+			}
+			got, err := campaign.Engine{Workers: 2, Chunk: 64}.
+				Execute(context.Background(), resumed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range ref {
+				if got[i].Digest != ref[i].Digest || got[i].Cycles != ref[i].Cycles {
+					t.Errorf("run %d: resumed digest/cycles %s/%d, uninterrupted %s/%d",
+						i, got[i].Digest, got[i].Cycles, ref[i].Digest, ref[i].Cycles)
+				}
+				if got[i].Stats.Cycles != ref[i].Stats.Cycles ||
+					got[i].Stats.MemReads() != ref[i].Stats.MemReads() ||
+					got[i].Stats.MemWrites() != ref[i].Stats.MemWrites() {
+					t.Errorf("run %d: resumed stats %+v, uninterrupted %+v", i, got[i].Stats, ref[i].Stats)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointInterrupted: a campaign cancelled mid-flight leaves an
+// interruption checkpoint for every unfinished dispatched run, and
+// completing those runs from their latest checkpoints merges with the
+// already-finished results into exactly the uninterrupted outcome.
+func TestCheckpointInterrupted(t *testing.T) {
+	p := sieveProgram(t)
+	const runs, cycles, every = 6, 20000, 256
+	ref, err := campaign.Engine{Workers: 2, Chunk: 64}.
+		Execute(context.Background(), campaign.Fleet("f", p, runs, cycles))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ck := newMemCheckpointer()
+	eng := campaign.Engine{Workers: 2, Chunk: 64, GangSize: 1,
+		Checkpoint: ck, CheckpointEvery: every}
+	ctx, cancel := context.WithCancel(context.Background())
+	finished := map[int]campaign.Result{}
+	var mu sync.Mutex
+	_, execErr := eng.ExecuteStream(ctx, campaign.Fleet("f", p, runs, cycles), func(r campaign.Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		if r.Err == nil {
+			finished[r.Index] = r
+		}
+		if len(finished) == 1 {
+			cancel() // interrupt after the first run retires
+		}
+	})
+	cancel()
+	if execErr == nil {
+		t.Fatal("cancelled campaign reported no error")
+	}
+
+	// Rebuild the campaign: finished runs keep their results, the rest
+	// warm-start from their latest checkpoint (or cold-start if they
+	// were never dispatched).
+	resumed := campaign.Fleet("f", p, runs, cycles)
+	var todo []campaign.Run
+	var todoIdx []int
+	for i := range resumed {
+		if _, done := finished[i]; done {
+			continue
+		}
+		if st, ok := ck.latest[i]; ok {
+			resumed[i].Warm = campaign.WarmStartFromState(p, ck.lastC[i], st)
+		}
+		todo = append(todo, resumed[i])
+		todoIdx = append(todoIdx, i)
+	}
+	if len(todo) == 0 || len(todo) == runs {
+		t.Fatalf("interruption not mid-campaign: %d of %d runs finished", runs-len(todo), runs)
+	}
+	rest, err := campaign.Engine{Workers: 2, Chunk: 64}.Execute(context.Background(), todo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := make([]campaign.Result, runs)
+	for i, r := range finished {
+		merged[i] = r
+	}
+	for j, r := range rest {
+		merged[todoIdx[j]] = r
+	}
+	for i := range ref {
+		if merged[i].Digest != ref[i].Digest || merged[i].Cycles != ref[i].Cycles ||
+			merged[i].Stats.Cycles != ref[i].Stats.Cycles {
+			t.Errorf("run %d: merged %s/%d/%d, uninterrupted %s/%d/%d",
+				i, merged[i].Digest, merged[i].Cycles, merged[i].Stats.Cycles,
+				ref[i].Digest, ref[i].Cycles, ref[i].Stats.Cycles)
+		}
+	}
+}
+
+// TestCheckpointEligibility: fault-injecting runs never emit — a
+// snapshot does not capture injector bookkeeping — while the fault
+// campaign's golden run (zero options, no faults) does.
+func TestCheckpointEligibility(t *testing.T) {
+	src, err := machines.TinyComputer(machines.TinyDivideImage(47, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := core.ParseString("tiny", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Compile(spec, core.Compiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := []fault.Fault{{Component: "ac", Bit: 0, Kind: fault.StuckAt1, From: 40, Until: 400}}
+	runs := campaign.FaultRuns("fc", p, 400, campaign.SnapshotDigest, faults)
+	ck := newMemCheckpointer()
+	eng := campaign.Engine{Workers: 1, Chunk: 64, Checkpoint: ck, CheckpointEvery: 64}
+	if _, err := eng.Execute(context.Background(), runs); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range runs {
+		_, emitted := ck.latest[i]
+		if len(r.Faults) > 0 && emitted {
+			t.Errorf("fault run %d emitted checkpoints", i)
+		}
+	}
+}

@@ -96,6 +96,19 @@ func NewWarmStart(p *core.Program, cycles int64) *WarmStart {
 	return &WarmStart{program: p, cycles: cycles}
 }
 
+// WarmStartFromState wraps an existing Machine.SaveState-format
+// snapshot — a durable checkpoint, a lane snapshot, a transferred
+// state — as a warm start at the given absolute cycle. Nothing is
+// simulated: runs restore the bytes as-is. The snapshot must belong to
+// the program (same specification shape) and cycle must be the cycle
+// counter it was saved at; a mismatch degrades affected runs to a
+// cold start, which re-executes from power-on and stays correct.
+func WarmStartFromState(p *core.Program, cycle int64, state []byte) *WarmStart {
+	ws := &WarmStart{program: p, cycles: cycle, state: state}
+	ws.once.Do(func() {}) // the snapshot is already materialized
+	return ws
+}
+
 // snapshot simulates the prefix on first use and returns the shared
 // state, the number of cycles it covers, and the prefix error if the
 // simulation failed.

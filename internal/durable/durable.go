@@ -1,0 +1,165 @@
+// Package durable is the serving layer's persistence seam: an
+// append-only record store, keyed by job, that survives the process.
+// The campaign engine's Checkpointer hook writes state snapshots into
+// it, the serving layer writes admitted requests, delivered result
+// lines and completion markers, and on restart the same records are
+// replayed to re-admit incomplete jobs, warm-start their unfinished
+// runs, and let a disconnected client resume its stream.
+//
+// Two implementations: MemStore (tests, ephemeral deployments) and
+// FileStore (one append-only CRC-framed segment file per job, fsync
+// on every record boundary, with a recovery scan that truncates torn
+// tails — see file.go).
+//
+// The store is deliberately dumb: append, replay in append order,
+// drop. All interpretation — which record kinds exist, what their
+// payloads mean, which checkpoint is latest — lives in the caller.
+// That keeps the durability format honest: everything a restarted
+// process knows, it learned by replaying records.
+package durable
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Kind discriminates record payloads.
+type Kind uint8
+
+const (
+	// KindAdmit records an admitted job: Data is the job request
+	// (serving-layer JSON). Written before the job waits for a slot, so
+	// a queued-but-unserved job survives a restart.
+	KindAdmit Kind = 1
+
+	// KindCheckpoint records a run's state snapshot: Run is the run's
+	// index in the job, Cycle the absolute cycle the snapshot was taken
+	// at, Data the sim.Machine.SaveState bytes.
+	KindCheckpoint Kind = 2
+
+	// KindResult records a delivered run result: Run is the run's
+	// index, Data the exact NDJSON line bytes (so a resumed stream
+	// replays byte-identical lines).
+	KindResult Kind = 3
+
+	// KindDone marks the job's campaign as finished: Data is empty for
+	// success or the campaign error string. A job without a KindDone
+	// record is incomplete and is re-admitted on recovery.
+	KindDone Kind = 4
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindAdmit:
+		return "admit"
+	case KindCheckpoint:
+		return "checkpoint"
+	case KindResult:
+		return "result"
+	case KindDone:
+		return "done"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Record is one appended unit. Run and Cycle are meaningful for the
+// kinds that document them and zero otherwise.
+type Record struct {
+	Kind  Kind
+	Run   int64
+	Cycle int64
+	Data  []byte
+}
+
+// Store is the pluggable persistence interface. Implementations must
+// be safe for concurrent use; Append durability is implementation-
+// defined (FileStore syncs every record, MemStore holds memory).
+// Replay yields records in append order; records appended during a
+// replay are yielded by a later replay, never torn into this one.
+type Store interface {
+	// Append durably adds one record to the job's log. The record's
+	// Data is copied (or written out) before Append returns; the caller
+	// may reuse the buffer.
+	Append(job string, rec Record) error
+
+	// Jobs lists every job that has at least one record.
+	Jobs() ([]string, error)
+
+	// Replay calls fn for each of the job's records in append order.
+	// The record's Data is only valid during the call. A non-nil error
+	// from fn stops the replay and is returned. Replaying an unknown
+	// job is not an error; fn is simply never called.
+	Replay(job string, fn func(Record) error) error
+
+	// Drop removes every record of the job.
+	Drop(job string) error
+
+	// Close releases resources. Only FileStore has any.
+	Close() error
+}
+
+// MemStore is the in-memory Store: test double and explicit
+// "durability off but code path on" implementation. Records survive
+// exactly as long as the process.
+type MemStore struct {
+	mu   sync.Mutex
+	jobs map[string][]Record
+	// order preserves first-append job order for a deterministic Jobs.
+	order []string
+}
+
+// NewMemStore builds an empty MemStore.
+func NewMemStore() *MemStore {
+	return &MemStore{jobs: map[string][]Record{}}
+}
+
+// Append implements Store.
+func (s *MemStore) Append(job string, rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[job]; !ok {
+		s.order = append(s.order, job)
+	}
+	rec.Data = append([]byte(nil), rec.Data...)
+	s.jobs[job] = append(s.jobs[job], rec)
+	return nil
+}
+
+// Jobs implements Store.
+func (s *MemStore) Jobs() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.order))
+	for _, j := range s.order {
+		if _, ok := s.jobs[j]; ok {
+			out = append(out, j)
+		}
+	}
+	return out, nil
+}
+
+// Replay implements Store. The snapshot of the record slice is taken
+// under the lock, so records appended concurrently are either fully in
+// or fully after this replay.
+func (s *MemStore) Replay(job string, fn func(Record) error) error {
+	s.mu.Lock()
+	recs := s.jobs[job]
+	s.mu.Unlock()
+	for _, r := range recs {
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Drop implements Store.
+func (s *MemStore) Drop(job string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, job)
+	return nil
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error { return nil }

@@ -1,0 +1,262 @@
+package durable
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// roundTrip appends a canonical record mix and replays it back.
+func roundTrip(t *testing.T, s Store) {
+	t.Helper()
+	recs := []Record{
+		{Kind: KindAdmit, Data: []byte(`{"spec":"..."}`)},
+		{Kind: KindCheckpoint, Run: 3, Cycle: 4096, Data: bytes.Repeat([]byte{0xab}, 200)},
+		{Kind: KindResult, Run: 0, Data: []byte(`{"index":0}`)},
+		{Kind: KindCheckpoint, Run: 3, Cycle: 8192, Data: bytes.Repeat([]byte{0xcd}, 200)},
+		{Kind: KindDone},
+	}
+	for _, r := range recs {
+		if err := s.Append("j1", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []Record
+	if err := s.Replay("j1", func(r Record) error {
+		r.Data = append([]byte(nil), r.Data...)
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Kind != recs[i].Kind || got[i].Run != recs[i].Run ||
+			got[i].Cycle != recs[i].Cycle || !bytes.Equal(got[i].Data, recs[i].Data) {
+			t.Errorf("record %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+
+	jobs, err := s.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0] != "j1" {
+		t.Errorf("jobs = %v, want [j1]", jobs)
+	}
+	if err := s.Drop("j1"); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := s.Replay("j1", func(Record) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("dropped job replayed %d records", n)
+	}
+}
+
+func TestMemStoreRoundTrip(t *testing.T) { roundTrip(t, NewMemStore()) }
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	s, err := OpenFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	roundTrip(t, s)
+}
+
+// TestFileStoreReopen: records written by one store instance replay
+// from a fresh instance over the same directory — the restart path.
+func TestFileStoreReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Append("j7", Record{Kind: KindResult, Run: int64(i), Data: []byte(fmt.Sprintf("r%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	jobs, err := s2.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0] != "j7" {
+		t.Fatalf("jobs after reopen = %v", jobs)
+	}
+	n := 0
+	if err := s2.Replay("j7", func(r Record) error {
+		if r.Run != int64(n) || string(r.Data) != fmt.Sprintf("r%d", n) {
+			t.Errorf("record %d: %+v", n, r)
+		}
+		n++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Errorf("replayed %d records, want 10", n)
+	}
+	// And the recovered segment keeps appending.
+	if err := s2.Append("j7", Record{Kind: KindDone}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFileStoreTornTail: a crash mid-append leaves a torn record; the
+// recovery scan must truncate it and keep everything before, whatever
+// the tear looks like — short frame, short payload, or bit rot.
+func TestFileStoreTornTail(t *testing.T) {
+	for name, tear := range map[string]func([]byte) []byte{
+		"short frame header": func(b []byte) []byte { return append(b, 0x01, 0x02, 0x03) },
+		"short payload": func(b []byte) []byte {
+			return append(b, 0x40, 0, 0, 0 /* len 64 */, 0xde, 0xad, 0xbe, 0xef, 0x01, 0x02)
+		},
+		"corrupt crc": func(b []byte) []byte {
+			b[len(b)-1] ^= 0xff // flip a bit in the last valid record
+			return b
+		},
+		"absurd length": func(b []byte) []byte {
+			return append(b, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0)
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := OpenFileStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 5; i++ {
+				if err := s.Append("j1", Record{Kind: KindResult, Run: int64(i), Data: []byte("payload")}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			s.Close()
+
+			path := filepath.Join(dir, "j1.seg")
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tear(b), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			s2, err := OpenFileStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s2.Close()
+			want := 5
+			if name == "corrupt crc" {
+				want = 4 // the tear destroyed the last record itself
+			}
+			n := 0
+			if err := s2.Replay("j1", func(r Record) error {
+				if r.Run != int64(n) {
+					t.Errorf("record %d has run %d", n, r.Run)
+				}
+				n++
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if n != want {
+				t.Errorf("replayed %d records after tear, want %d", n, want)
+			}
+			// The truncated segment must accept appends again.
+			if err := s2.Append("j1", Record{Kind: KindDone}); err != nil {
+				t.Fatal(err)
+			}
+			n = 0
+			if err := s2.Replay("j1", func(Record) error { n++; return nil }); err != nil {
+				t.Fatal(err)
+			}
+			if n != want+1 {
+				t.Errorf("after post-tear append: %d records, want %d", n, want+1)
+			}
+		})
+	}
+}
+
+// TestFileStoreJobNames: client-supplied job names must not escape the
+// store directory or collide with hidden files.
+func TestFileStoreJobNames(t *testing.T) {
+	s, err := OpenFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, bad := range []string{"", "../evil", "a/b", "a\\b", ".hidden", "x y", "j\x00"} {
+		if err := s.Append(bad, Record{Kind: KindAdmit}); err == nil {
+			t.Errorf("job name %q accepted", bad)
+		}
+	}
+	if err := s.Append("Jb_2.x-9", Record{Kind: KindAdmit}); err != nil {
+		t.Errorf("benign job name rejected: %v", err)
+	}
+}
+
+// TestFileStoreConcurrent: concurrent appenders to several jobs with a
+// concurrent replayer — the serving layer's shape — must neither race
+// nor tear records.
+func TestFileStoreConcurrent(t *testing.T) {
+	s, err := OpenFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const writers, each = 4, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			job := fmt.Sprintf("j%d", w%2) // two jobs, two writers each
+			for i := 0; i < each; i++ {
+				if err := s.Append(job, Record{Kind: KindCheckpoint, Run: int64(w), Cycle: int64(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			if err := s.Replay("j0", func(Record) error { return nil }); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	for _, job := range []string{"j0", "j1"} {
+		n := 0
+		if err := s.Replay(job, func(Record) error { n++; return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if n != 2*each {
+			t.Errorf("%s: %d records, want %d", job, n, 2*each)
+		}
+	}
+}

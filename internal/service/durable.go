@@ -1,0 +1,512 @@
+package service
+
+// Durability wiring: how the serving layer uses the durable.Store.
+//
+// Every store-backed job leaves a trail of records under its id: the
+// admitted request (written before the job can block in the queue),
+// periodic machine-state checkpoints from the engine's Checkpointer
+// hook, each delivered result line (the exact bytes, so replays are
+// byte-identical), and a completion marker. Three consumers replay
+// that trail:
+//
+//   - handleResume streams a dropped stream's remainder to a client
+//     presenting a resume token (job id + lines already received).
+//   - completeJob finishes an interrupted campaign in the background,
+//     skipping runs with stored results and warm-starting checkpointed
+//     runs from their latest snapshot.
+//   - Recover, called once at startup, re-admits every job the
+//     previous process left without a completion marker.
+//
+// The invariant everything rides on: a result line is appended to the
+// store before it is written to any client, and cancelled runs are
+// neither persisted nor streamed. So a client's delivered count is
+// always a prefix of the stored result records, and a run either has
+// a stored result (final, replayable) or will be re-executed —
+// exactly once, never both.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/durable"
+	"repro/internal/sim"
+)
+
+// nextJobID allocates a fresh job id. Recover advances the sequence
+// past every stored job before traffic is served, so recovered and
+// fresh ids never collide.
+func (s *Server) nextJobID() string {
+	return fmt.Sprintf("j%d", s.jobSeq.Add(1))
+}
+
+// persistAdmit records the admitted request. Store errors are
+// swallowed: durability is best-effort next to serving — a job whose
+// admit record failed to write simply cannot be recovered or resumed.
+func (s *Server) persistAdmit(id string, req JobRequest) {
+	if s.store == nil {
+		return
+	}
+	data, err := json.Marshal(req)
+	if err != nil {
+		return
+	}
+	_ = s.store.Append(id, durable.Record{Kind: durable.KindAdmit, Data: data})
+}
+
+// persistDone records the campaign's completion: empty data for
+// success, the error string otherwise. Jobs abandoned mid-stream get
+// no done record at all — that absence is what marks them resumable.
+func (s *Server) persistDone(id string, execErr error) {
+	if s.store == nil {
+		return
+	}
+	rec := durable.Record{Kind: durable.KindDone}
+	if execErr != nil {
+		rec.Data = []byte(execErr.Error())
+	}
+	_ = s.store.Append(id, rec)
+}
+
+// dropJob discards a job's records once they can serve no resume.
+func (s *Server) dropJob(id string) {
+	if s.store != nil {
+		_ = s.store.Drop(id)
+	}
+}
+
+// jobRun is the live handle of an executing job: a notification
+// channel resume streams wait on. bump (a result was persisted) and
+// end (the run finished) close the current channel; waiters re-check
+// the store and grab a fresh channel.
+type jobRun struct {
+	mu     sync.Mutex
+	notify chan struct{}
+	ended  bool
+}
+
+func newJobRun() *jobRun { return &jobRun{notify: make(chan struct{})} }
+
+// wait returns a channel closed at the run's next event. Grab it
+// before replaying the store: any record appended after the replay's
+// snapshot closes a channel obtained before it, so no event is lost
+// between the replay and the wait.
+func (jr *jobRun) wait() <-chan struct{} {
+	jr.mu.Lock()
+	defer jr.mu.Unlock()
+	return jr.notify
+}
+
+func (jr *jobRun) bump() {
+	jr.mu.Lock()
+	defer jr.mu.Unlock()
+	if jr.ended {
+		return
+	}
+	close(jr.notify)
+	jr.notify = make(chan struct{})
+}
+
+func (jr *jobRun) end() {
+	jr.mu.Lock()
+	defer jr.mu.Unlock()
+	if jr.ended {
+		return
+	}
+	jr.ended = true
+	close(jr.notify)
+}
+
+func (s *Server) registerRun(id string) *jobRun {
+	jr := newJobRun()
+	s.runMu.Lock()
+	s.running[id] = jr
+	s.runMu.Unlock()
+	return jr
+}
+
+func (s *Server) finishRun(id string, jr *jobRun) {
+	s.runMu.Lock()
+	if s.running[id] == jr {
+		delete(s.running, id)
+	}
+	s.runMu.Unlock()
+	jr.end()
+}
+
+func (s *Server) lookupRun(id string) *jobRun {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	return s.running[id]
+}
+
+// ensureRunning starts a background completion for the job unless one
+// (or the job's foreground stream) is already executing. Reports
+// whether it started one.
+func (s *Server) ensureRunning(id string) bool {
+	s.runMu.Lock()
+	if _, ok := s.running[id]; ok {
+		s.runMu.Unlock()
+		return false
+	}
+	jr := newJobRun()
+	s.running[id] = jr
+	s.runMu.Unlock()
+	go s.completeJob(id, jr)
+	return true
+}
+
+// storeCheckpointer adapts the durable store to the engine's
+// Checkpointer hook. idx, when set, remaps the engine's run indices
+// to the job's original ones (a background completion executes only
+// the unfinished suffix of a job's runs).
+type storeCheckpointer struct {
+	s   *Server
+	job string
+	idx []int
+}
+
+func (c *storeCheckpointer) Checkpoint(run int, cycle int64, state []byte) {
+	if c.idx != nil {
+		run = c.idx[run]
+	}
+	err := c.s.store.Append(c.job, durable.Record{
+		Kind: durable.KindCheckpoint, Run: int64(run), Cycle: cycle, Data: state,
+	})
+	if err != nil {
+		c.s.met.checkpointErrors.Add(1)
+		return
+	}
+	c.s.met.checkpoints.Add(1)
+}
+
+// ckpt is a run's recoverable snapshot.
+type ckpt struct {
+	cycle int64
+	state []byte
+}
+
+// jobState is one replay of a job's records, interpreted.
+type jobState struct {
+	admit   []byte         // the stored request JSON (nil: job unknown)
+	lines   [][]byte       // result lines in delivery order
+	results map[int64]bool // run indices that have a stored result
+	cks     map[int64]ckpt // latest usable checkpoint per run
+	done    bool
+	doneErr string
+}
+
+func (s *Server) loadJobState(id string) (*jobState, error) {
+	st := &jobState{results: map[int64]bool{}, cks: map[int64]ckpt{}}
+	err := s.store.Replay(id, func(rec durable.Record) error {
+		switch rec.Kind {
+		case durable.KindAdmit:
+			st.admit = append([]byte(nil), rec.Data...)
+		case durable.KindResult:
+			st.lines = append(st.lines, append([]byte(nil), rec.Data...))
+			st.results[rec.Run] = true
+		case durable.KindCheckpoint:
+			if prev, ok := st.cks[rec.Run]; ok && prev.cycle >= rec.Cycle {
+				return nil
+			}
+			// A checkpoint is only used if its self-describing framing
+			// agrees with the record's cycle; anything else cold-starts
+			// the run instead — slower, never wrong.
+			if cyc, err := sim.SnapshotCycle(rec.Data); err != nil || cyc != rec.Cycle || cyc <= 0 {
+				return nil
+			}
+			st.cks[rec.Run] = ckpt{cycle: rec.Cycle, state: append([]byte(nil), rec.Data...)}
+		case durable.KindDone:
+			st.done = true
+			st.doneErr = string(rec.Data)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// handleResume streams a job's undelivered remainder to a client
+// presenting a resume token. Stored result lines past the client's
+// delivered count replay byte-identically; if the campaign is still
+// executing, further lines stream as their runs retire; if it is not
+// (the serving process restarted, or the original stream was
+// abandoned), a background completion is started. The stream ends
+// with a trailer summarizing the job's stored results.
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request, req JobRequest) {
+	rr := req.Resume
+	fail := func(status int, msg string) {
+		s.met.jobsBad.Add(1)
+		writeJSON(w, status, map[string]string{"error": msg})
+	}
+	if req.Spec != "" || req.Scenario != "" {
+		fail(http.StatusBadRequest, "a resume request takes no spec or scenario")
+		return
+	}
+	if rr.Delivered < 0 {
+		fail(http.StatusBadRequest, "resume.delivered must be non-negative")
+		return
+	}
+	if s.store == nil {
+		fail(http.StatusNotFound, "this server keeps no durable job records")
+		return
+	}
+	st, err := s.loadJobState(rr.Job)
+	if err != nil {
+		fail(http.StatusBadRequest, fmt.Sprintf("resume %q: %v", rr.Job, err))
+		return
+	}
+	if st.admit == nil {
+		fail(http.StatusNotFound, fmt.Sprintf("unknown job %q", rr.Job))
+		return
+	}
+
+	s.met.jobsResumed.Add(1)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Job-Id", rr.Job)
+	out := &lineWriter{
+		w:       w,
+		rc:      http.NewResponseController(w),
+		timeout: s.cfg.writeTimeout(),
+	}
+	out.line(JobHeader{Job: rr.Job, Resumed: true})
+
+	// Replay-then-wait loop. Each pass replays the store and writes
+	// every stored line the client has not seen (the token's count
+	// plus what this stream already sent); between passes it waits on
+	// the executing run's notification channel — obtained before the
+	// replay, so a result persisted during the replay is never missed.
+	sent := 0
+	ensured := false
+	for {
+		jr := s.lookupRun(rr.Job)
+		var wake <-chan struct{}
+		if jr != nil {
+			wake = jr.wait()
+		}
+		if st, err = s.loadJobState(rr.Job); err != nil {
+			out.fail(err)
+			return
+		}
+		for i := rr.Delivered + sent; i < len(st.lines); i++ {
+			out.raw(st.lines[i])
+			sent++
+		}
+		if out.err != nil {
+			return
+		}
+		if st.done {
+			break
+		}
+		if jr == nil {
+			if !ensured {
+				ensured = true
+				s.ensureRunning(rr.Job)
+				continue
+			}
+			// The completion we started ended without a marker — it
+			// could not even read the job back. Give up politely.
+			st.doneErr = "job execution was interrupted; resume again"
+			break
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+
+	// The trailer's summary is reconstructed from the stored lines:
+	// totals (runs, cycles, memory traffic, divergences) are exact;
+	// the per-memory breakdown behind them collapsed into one entry
+	// when the lines were rendered.
+	results := make([]campaign.Result, 0, len(st.lines))
+	for _, line := range st.lines {
+		var l RunLine
+		if json.Unmarshal(line, &l) == nil {
+			results = append(results, lineResult(l))
+		}
+	}
+	trailer := JobTrailer{Done: true, Summary: campaign.Summarize(results, 0)}
+	trailer.Err = st.doneErr
+	out.line(trailer)
+	_ = out.rc.SetWriteDeadline(time.Time{})
+	if st.done && out.err == nil {
+		// Fully delivered: the job's records can serve no further
+		// resume.
+		s.dropJob(rr.Job)
+	}
+}
+
+// lineResult reconstructs a campaign.Result from its stored stream
+// line, for summarizing. Totals survive exactly; the per-memory
+// breakdown is a single synthetic entry carrying the sums.
+func lineResult(l RunLine) campaign.Result {
+	r := campaign.Result{
+		Index:  l.Index,
+		Name:   l.Name,
+		Group:  l.Group,
+		Cycles: l.Cycles,
+		Digest: l.Digest,
+		Stats: sim.Stats{
+			Cycles: l.Cycles,
+			MemOps: []sim.MemOpStats{{Reads: l.MemReads, Writes: l.MemWrites}},
+		},
+	}
+	if l.Activated > 0 {
+		r.Activated = []int64{l.Activated}
+	}
+	if l.Err != "" {
+		r.Err = errors.New(l.Err)
+	}
+	return r
+}
+
+// completeJob finishes an interrupted job with no client attached:
+// the stored request is rebuilt into the same runs (building is
+// deterministic), runs with stored results are skipped, checkpointed
+// runs warm-start from their latest snapshot, and new results are
+// persisted for a later resume to deliver. Takes a job slot like any
+// foreground job.
+func (s *Server) completeJob(id string, jr *jobRun) {
+	defer s.finishRun(id, jr)
+	s.slots <- struct{}{}
+	defer func() { <-s.slots }()
+
+	st, err := s.loadJobState(id)
+	if err != nil || st.admit == nil || st.done {
+		return
+	}
+	var req JobRequest
+	if err := json.Unmarshal(st.admit, &req); err != nil {
+		s.persistDone(id, fmt.Errorf("stored request unreadable: %v", err))
+		return
+	}
+	job, err := s.newJob(id, req)
+	if err != nil {
+		s.persistDone(id, err)
+		return
+	}
+
+	// The unfinished suffix: idx maps the sub-campaign's indices back
+	// to the job's. A retirement checkpoint at the run's full cycle
+	// budget still warm-starts (zero cycles left to step) — the crash
+	// fell between the checkpoint and its result record.
+	var todo []campaign.Run
+	var idx []int
+	for i, run := range job.runs {
+		if st.results[int64(i)] {
+			continue
+		}
+		if ck, ok := st.cks[int64(i)]; ok && ck.cycle <= run.Cycles {
+			run.Warm = campaign.WarmStartFromState(run.Program, ck.cycle, ck.state)
+		}
+		todo = append(todo, run)
+		idx = append(idx, i)
+	}
+	if len(todo) == 0 {
+		s.persistDone(id, nil)
+		return
+	}
+
+	s.met.jobsActive.Add(1)
+	defer s.met.jobsActive.Add(-1)
+
+	eng := s.cfg.Engine
+	eng.Checkpoint = &storeCheckpointer{s: s, job: id, idx: idx}
+	eng.CheckpointEvery = s.cfg.checkpointCycles()
+
+	deadline := s.cfg.defaultDeadline()
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	if max := s.cfg.maxDeadline(); deadline > max {
+		deadline = max
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+
+	t0 := time.Now()
+	results, execErr := eng.ExecuteStream(ctx, todo, func(res campaign.Result) {
+		if errors.Is(res.Err, context.Canceled) {
+			return
+		}
+		res.Index = idx[res.Index]
+		data, err := json.Marshal(ResultLine(res))
+		if err != nil {
+			return
+		}
+		_ = s.store.Append(id, durable.Record{Kind: durable.KindResult, Run: int64(res.Index), Data: data})
+		jr.bump()
+	})
+	elapsed := time.Since(t0)
+
+	sum := campaign.Summarize(results, elapsed)
+	s.met.runsTotal.Add(int64(sum.Runs))
+	s.met.cyclesTotal.Add(sum.Cycles)
+	s.met.busyNanos.Add(int64(elapsed))
+	switch {
+	case execErr == nil:
+		s.met.jobsCompleted.Add(1)
+		s.persistDone(id, nil)
+	case errors.Is(execErr, context.Canceled):
+		// Only possible if the whole server is shutting down; the next
+		// process's Recover picks the job up again.
+	default:
+		s.met.jobsFailed.Add(1)
+		s.persistDone(id, execErr)
+	}
+}
+
+// Recover replays the durable store after a restart: every job with
+// records but no completion marker is re-admitted and completed in
+// the background, warm-starting its unfinished runs from their latest
+// checkpoints. Finished jobs whose streams were never fully delivered
+// are left in place for their clients to resume. Call Recover before
+// serving traffic — it also advances the job id sequence past every
+// stored job so fresh ids cannot collide. Returns how many jobs it
+// re-admitted.
+func (s *Server) Recover() (int, error) {
+	if s.store == nil {
+		return 0, nil
+	}
+	jobs, err := s.store.Jobs()
+	if err != nil {
+		return 0, err
+	}
+	for _, id := range jobs {
+		var n int64
+		if _, err := fmt.Sscanf(id, "j%d", &n); err == nil {
+			for {
+				cur := s.jobSeq.Load()
+				if n <= cur || s.jobSeq.CompareAndSwap(cur, n) {
+					break
+				}
+			}
+		}
+	}
+	recovered := 0
+	for _, id := range jobs {
+		done := false
+		if err := s.store.Replay(id, func(rec durable.Record) error {
+			if rec.Kind == durable.KindDone {
+				done = true
+			}
+			return nil
+		}); err != nil || done {
+			continue
+		}
+		if s.ensureRunning(id) {
+			recovered++
+			s.met.jobsRecovered.Add(1)
+		}
+	}
+	return recovered, nil
+}

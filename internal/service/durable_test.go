@@ -1,0 +1,346 @@
+// Durability end-to-end tests: stream resumption after a client
+// disconnect, crash recovery across server instances sharing one
+// durable directory, and the serving-layer request-validation fixes
+// (413 for oversized bodies, negative scenario parameters, abandoned
+// vs failed classification — the latter in TestServiceSlowReader).
+package service_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/durable"
+	"repro/internal/machines"
+	"repro/internal/service"
+)
+
+// durableJob is the workload the resume tests interrupt: long enough
+// (~8 × 150k compiled cycles on one worker) that a client cancelling
+// after two run lines reliably lands mid-campaign, short enough that
+// completing the remainder is cheap.
+func durableJob(t *testing.T) service.JobRequest {
+	t.Helper()
+	src, err := machines.SieveSpec(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return service.JobRequest{Spec: src, Runs: 8, Cycles: 150_000}
+}
+
+// durableEngine gangs two runs at a time so run lines stream in small
+// increments — a client reading a prefix then cancelling reliably
+// leaves finished, checkpointed-unfinished and never-dispatched runs
+// behind, which is exactly the mix recovery must handle.
+var durableEngine = campaign.Engine{Workers: 1, Chunk: 64, GangSize: 2}
+
+func durableConfig(store durable.Store) service.Config {
+	return service.Config{
+		Engine:           durableEngine,
+		Store:            store,
+		CheckpointCycles: 8192,
+	}
+}
+
+// postPartial POSTs a job, reads n NDJSON lines (header included),
+// then drops the connection mid-stream. Returns the job id and the
+// lines read.
+func postPartial(t *testing.T, ts *httptest.Server, req service.JobRequest, n int) (string, []string) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	hr, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	br := bufio.NewReader(resp.Body)
+	var lines []string
+	for i := 0; i < n; i++ {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		lines = append(lines, strings.TrimSuffix(line, "\n"))
+	}
+	cancel() // walk away mid-stream
+	return resp.Header.Get("X-Job-Id"), lines
+}
+
+// resume POSTs a resume token and returns the status plus body lines.
+func resume(t *testing.T, url, job string, delivered int) (int, []string) {
+	t.Helper()
+	return postJob(t, url, service.JobRequest{
+		Resume: &service.ResumeRequest{Job: job, Delivered: delivered},
+	})
+}
+
+// referenceLines runs the request on a plain store-less server and
+// returns its run lines sorted by index — the byte-identity oracle
+// for every interrupted-then-resumed variant.
+func referenceLines(t *testing.T, req service.JobRequest) string {
+	t.Helper()
+	_, ts := newServer(t, service.Config{Engine: durableEngine})
+	status, lines := postJob(t, ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("reference status %d", status)
+	}
+	_, raw, _, tr := parseStream(t, lines)
+	if tr.Err != "" {
+		t.Fatalf("reference trailer error: %s", tr.Err)
+	}
+	return sortedRunLines(t, raw)
+}
+
+// TestServiceResumeAfterDisconnect: a client that drops mid-stream
+// resumes with (job id, lines received) and gets every remaining run
+// exactly once; the union of both streams is byte-identical to the
+// uninterrupted job. The job is counted abandoned, never failed, and
+// its durable record is dropped once fully delivered.
+func TestServiceResumeAfterDisconnect(t *testing.T) {
+	req := durableJob(t)
+	want := referenceLines(t, req)
+
+	store := durable.NewMemStore()
+	srv, ts := newServer(t, durableConfig(store))
+	jobID, lines := postPartial(t, ts, req, 3) // header + 2 run lines
+	got := lines[1:]
+	waitFor(t, "interrupted handler to finish", func() bool {
+		m := srv.Metrics()
+		return m.JobsActive == 0 && m.JobsAbandoned+m.JobsCompleted == 1
+	})
+
+	status, rlines := resume(t, ts.URL, jobID, len(got))
+	if status != http.StatusOK {
+		t.Fatalf("resume status %d: %v", status, rlines)
+	}
+	hdr, raw, _, tr := parseStream(t, rlines)
+	if hdr.Job != jobID || !hdr.Resumed {
+		t.Errorf("resume header: %+v", hdr)
+	}
+	if !tr.Done || tr.Err != "" {
+		t.Errorf("resume trailer: %+v", tr)
+	}
+	got = append(got, raw...)
+	if len(got) != req.Runs {
+		t.Fatalf("original %d + resumed %d lines, want %d exactly-once",
+			len(lines)-1, len(raw), req.Runs)
+	}
+	if merged := sortedRunLines(t, got); merged != want {
+		t.Errorf("merged streams differ from uninterrupted job:\n got:\n%s\nwant:\n%s", merged, want)
+	}
+	if m := srv.Metrics(); m.JobsResumed != 1 || m.JobsFailed != 0 {
+		t.Errorf("metrics resumed=%d failed=%d", m.JobsResumed, m.JobsFailed)
+	}
+
+	// Fully delivered: the record is gone, and so is a second resume.
+	jobs, err := store.Jobs()
+	if err != nil || len(jobs) != 0 {
+		t.Errorf("store after full delivery: jobs=%v err=%v", jobs, err)
+	}
+	if status, _ := resume(t, ts.URL, jobID, 0); status != http.StatusNotFound {
+		t.Errorf("second resume status %d, want 404", status)
+	}
+}
+
+// TestServiceCrashRecovery: a server dies mid-campaign (simulated by
+// abandoning the stream and discarding the Server over its durable
+// directory); a fresh Server over the same directory re-admits the
+// job, warm-starts its unfinished runs from checkpoints, and a
+// resuming client receives the complete run set byte-identical to an
+// uninterrupted execution. The CI smoke test does the same dance with
+// a real SIGKILL of the asimd process.
+func TestServiceCrashRecovery(t *testing.T) {
+	req := durableJob(t)
+	want := referenceLines(t, req)
+	dir := t.TempDir()
+
+	// First life: interrupt the job mid-stream, then drop the server.
+	storeA, err := durable.OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvA, tsA := newServer(t, durableConfig(storeA))
+	jobID, _ := postPartial(t, tsA, req, 3)
+	waitFor(t, "interrupted handler to finish", func() bool {
+		m := srvA.Metrics()
+		return m.JobsActive == 0 && m.JobsAbandoned+m.JobsCompleted == 1
+	})
+	if m := srvA.Metrics(); m.Checkpoints == 0 {
+		t.Error("no checkpoints persisted before the crash")
+	}
+	tsA.Close()
+	if err := storeA.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life: recover, then resume from scratch.
+	storeB, err := durable.OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvB, tsB := newServer(t, durableConfig(storeB))
+	recovered, err := srvB.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered != 1 {
+		t.Fatalf("recovered %d jobs, want 1", recovered)
+	}
+	status, rlines := resume(t, tsB.URL, jobID, 0)
+	if status != http.StatusOK {
+		t.Fatalf("resume status %d: %v", status, rlines)
+	}
+	hdr, raw, _, tr := parseStream(t, rlines)
+	if hdr.Job != jobID || !hdr.Resumed || !tr.Done || tr.Err != "" {
+		t.Errorf("resumed stream header %+v trailer %+v", hdr, tr)
+	}
+	if len(raw) != req.Runs {
+		t.Fatalf("resumed stream has %d run lines, want %d", len(raw), req.Runs)
+	}
+	if got := sortedRunLines(t, raw); got != want {
+		t.Errorf("recovered job differs from uninterrupted job:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if tr.Summary.Runs != req.Runs || tr.Summary.Errors != 0 || tr.Summary.Divergences != 0 {
+		t.Errorf("recovered trailer summary: %+v", tr.Summary)
+	}
+	if m := srvB.Metrics(); m.JobsRecovered != 1 || m.JobsResumed != 1 {
+		t.Errorf("metrics recovered=%d resumed=%d", m.JobsRecovered, m.JobsResumed)
+	}
+
+	// A fresh id on the recovered server must not collide with the
+	// recovered job's.
+	status, lines := postJob(t, tsB.URL, service.JobRequest{Spec: machines.Counter(), Cycles: 64})
+	if status != http.StatusOK {
+		t.Fatalf("post-recovery job status %d", status)
+	}
+	fresh, _, _, _ := parseStream(t, lines)
+	if fresh.Job == jobID {
+		t.Errorf("fresh job reused recovered id %s", jobID)
+	}
+
+	jobs, err := storeB.Jobs()
+	if err != nil || len(jobs) != 0 {
+		t.Errorf("store after recovery + delivery: jobs=%v err=%v", jobs, err)
+	}
+	if err := storeB.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServiceDurableDrop: an uninterrupted, fully delivered job
+// leaves nothing behind in the store, while its execution was still
+// checkpointing all along.
+func TestServiceDurableDrop(t *testing.T) {
+	store := durable.NewMemStore()
+	srv, ts := newServer(t, durableConfig(store))
+	status, lines := postJob(t, ts.URL, durableJob(t))
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if _, raw, _, tr := parseStream(t, lines); len(raw) != 8 || tr.Err != "" {
+		t.Fatalf("stream: %d lines, trailer err %q", len(raw), tr.Err)
+	}
+	if m := srv.Metrics(); m.Checkpoints == 0 || m.JobsCompleted != 1 {
+		t.Errorf("metrics checkpoints=%d completed=%d", m.Checkpoints, m.JobsCompleted)
+	}
+	jobs, err := store.Jobs()
+	if err != nil || len(jobs) != 0 {
+		t.Errorf("store after clean delivery: jobs=%v err=%v", jobs, err)
+	}
+}
+
+// TestServiceResumeValidation: the resume token's error envelope —
+// a token plus a workload is a contradiction, negative delivered
+// counts are nonsense, unknown jobs are 404, and a server without a
+// store has nothing to resume from.
+func TestServiceResumeValidation(t *testing.T) {
+	srv, ts := newServer(t, durableConfig(durable.NewMemStore()))
+	if status, _ := postJob(t, ts.URL, service.JobRequest{
+		Spec:   machines.Counter(),
+		Resume: &service.ResumeRequest{Job: "j1"},
+	}); status != http.StatusBadRequest {
+		t.Errorf("resume+spec status %d, want 400", status)
+	}
+	if status, _ := resume(t, ts.URL, "j1", -1); status != http.StatusBadRequest {
+		t.Errorf("negative delivered status %d, want 400", status)
+	}
+	if status, _ := resume(t, ts.URL, "no-such-job", 0); status != http.StatusNotFound {
+		t.Errorf("unknown job status %d, want 404", status)
+	}
+	if m := srv.Metrics(); m.JobsBad != 3 {
+		t.Errorf("jobs_bad = %d, want 3", m.JobsBad)
+	}
+
+	_, bare := newServer(t, service.Config{})
+	if status, _ := resume(t, bare.URL, "j1", 0); status != http.StatusNotFound {
+		t.Errorf("store-less resume status %d, want 404", status)
+	}
+}
+
+// TestServiceOversizedBody: a body past MaxBody is its own protocol
+// condition — 413 naming the limit, not a generic 400.
+func TestServiceOversizedBody(t *testing.T) {
+	srv, ts := newServer(t, service.Config{MaxBody: 256})
+	body, err := json.Marshal(service.JobRequest{Spec: strings.Repeat("; padding\n", 200)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	msg, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413 (%s)", resp.StatusCode, msg)
+	}
+	if !strings.Contains(string(msg), "256") {
+		t.Errorf("413 body does not name the limit: %s", msg)
+	}
+	if m := srv.Metrics(); m.JobsBad != 1 {
+		t.Errorf("jobs_bad = %d, want 1", m.JobsBad)
+	}
+}
+
+// TestServiceNegativeParams: negative size and seed must be rejected
+// before they reach scenario Build (a negative size would flow into
+// spec generation and array sizing).
+func TestServiceNegativeParams(t *testing.T) {
+	srv, ts := newServer(t, service.Config{})
+	for _, req := range []service.JobRequest{
+		{Spec: machines.Counter(), Size: -1},
+		{Spec: machines.Counter(), Seed: -1},
+		{Scenario: "does-not-matter", Size: -4096},
+	} {
+		status, lines := postJob(t, ts.URL, req)
+		if status != http.StatusBadRequest {
+			t.Errorf("size=%d seed=%d: status %d, want 400 (%v)", req.Size, req.Seed, status, lines)
+		}
+		if body := fmt.Sprint(lines); !strings.Contains(body, "non-negative") {
+			t.Errorf("size=%d seed=%d: error does not say non-negative: %v", req.Size, req.Seed, lines)
+		}
+	}
+	if m := srv.Metrics(); m.JobsBad != 3 {
+		t.Errorf("jobs_bad = %d, want 3", m.JobsBad)
+	}
+}

@@ -28,6 +28,25 @@ type JobRequest struct {
 	Size    int    `json:"size,omitempty"`    // scenario size parameter
 
 	DeadlineMS int64 `json:"deadline_ms,omitempty"` // per-job deadline (default/cap: server config)
+
+	// Resume, when set, asks for a dropped stream's remainder instead
+	// of a new job; Spec and Scenario must be empty. See ResumeRequest.
+	Resume *ResumeRequest `json:"resume,omitempty"`
+}
+
+// ResumeRequest is the resume token a client presents to pick a
+// stream back up: the job id from the original stream's header (or
+// X-Job-Id response header) and how many complete run lines it
+// already received. The response replays every undelivered stored run
+// line byte-for-byte, streams runs that are still executing as they
+// retire (restarting interrupted runs from their latest durable
+// checkpoints if the campaign is no longer running), and ends with the
+// job's trailer — each run delivered exactly once across the original
+// stream and the resumed one. A partially received line does not
+// count as delivered; it is replayed whole.
+type ResumeRequest struct {
+	Job       string `json:"job"`
+	Delivered int    `json:"delivered,omitempty"`
 }
 
 // JobHeader is the stream's first NDJSON line: what was admitted,
@@ -39,7 +58,8 @@ type JobHeader struct {
 	Backend    string `json:"backend,omitempty"`
 	Scenario   string `json:"scenario,omitempty"`
 	SpecDigest string `json:"spec_digest,omitempty"`
-	Cache      string `json:"cache,omitempty"` // "hit" or "miss"
+	Cache      string `json:"cache,omitempty"`   // "hit" or "miss"
+	Resumed    bool   `json:"resumed,omitempty"` // stream is a resume, not a fresh job
 }
 
 // RunLine is one per-run NDJSON line. Lines stream in completion
@@ -93,20 +113,26 @@ type job struct {
 	runs   []campaign.Run
 }
 
-// newJob validates a request and builds its runs. Every path that
-// errors here is a client error (400): bad source, unknown scenario
-// or backend, limits exceeded.
-func (s *Server) newJob(req JobRequest) (*job, error) {
+// newJob validates a request and builds its runs under the id the
+// caller assigned (ids are allocated before admission so a queued job
+// can be spilled to the durable store). Every path that errors here
+// is a client error (400): bad source, unknown scenario or backend,
+// limits exceeded. Building is deterministic — the same request under
+// the same id yields runs that execute to byte-identical results,
+// which is what lets recovery rebuild a job from its stored request.
+func (s *Server) newJob(id string, req JobRequest) (*job, error) {
 	switch {
 	case req.Spec == "" && req.Scenario == "":
 		return nil, errors.New("job needs a spec or a scenario")
 	case req.Spec != "" && req.Scenario != "":
 		return nil, errors.New("job takes a spec or a scenario, not both")
 	}
-	if req.Runs < 0 || req.Cycles < 0 || req.DeadlineMS < 0 {
-		return nil, errors.New("runs, cycles and deadline_ms must be non-negative")
+	// Size and Seed feed scenario Build (spec generation, memory array
+	// sizing) and must be validated here — scenarioSizeCap alone would
+	// let a negative size flow through to Build.
+	if req.Runs < 0 || req.Cycles < 0 || req.DeadlineMS < 0 || req.Size < 0 || req.Seed < 0 {
+		return nil, errors.New("runs, cycles, seed, size and deadline_ms must be non-negative")
 	}
-	id := fmt.Sprintf("j%d", s.jobSeq.Add(1))
 	if req.Scenario != "" {
 		return s.newScenarioJob(id, req)
 	}

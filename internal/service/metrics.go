@@ -5,16 +5,20 @@ import "sync/atomic"
 // counters is the server's internal metric state. Everything is a
 // plain atomic so the hot path (one job) touches a handful of adds.
 type counters struct {
-	jobsAccepted  atomic.Int64
-	jobsCompleted atomic.Int64
-	jobsFailed    atomic.Int64
-	jobsRejected  atomic.Int64
-	jobsAbandoned atomic.Int64
-	jobsBad       atomic.Int64
-	jobsActive    atomic.Int64
-	runsTotal     atomic.Int64
-	cyclesTotal   atomic.Int64
-	busyNanos     atomic.Int64
+	jobsAccepted     atomic.Int64
+	jobsCompleted    atomic.Int64
+	jobsFailed       atomic.Int64
+	jobsRejected     atomic.Int64
+	jobsAbandoned    atomic.Int64
+	jobsBad          atomic.Int64
+	jobsActive       atomic.Int64
+	jobsResumed      atomic.Int64
+	jobsRecovered    atomic.Int64
+	checkpoints      atomic.Int64
+	checkpointErrors atomic.Int64
+	runsTotal        atomic.Int64
+	cyclesTotal      atomic.Int64
+	busyNanos        atomic.Int64
 }
 
 // Metrics is one consistent-enough snapshot of the server's counters,
@@ -23,12 +27,17 @@ type counters struct {
 type Metrics struct {
 	JobsAccepted  int64 `json:"jobs_accepted"`  // admitted to run (after any queueing)
 	JobsCompleted int64 `json:"jobs_completed"` // finished without an engine error
-	JobsFailed    int64 `json:"jobs_failed"`    // deadline exceeded / client gone
+	JobsFailed    int64 `json:"jobs_failed"`    // deadline exceeded or engine error
 	JobsRejected  int64 `json:"jobs_rejected"`  // 429: queue full
-	JobsAbandoned int64 `json:"jobs_abandoned"` // client disconnected while queued (never accepted)
-	JobsBad       int64 `json:"jobs_bad"`       // 400: malformed or over limits
+	JobsAbandoned int64 `json:"jobs_abandoned"` // client disconnected while queued or mid-stream (resumable)
+	JobsBad       int64 `json:"jobs_bad"`       // 400/413: malformed or over limits
 	JobsActive    int64 `json:"jobs_active"`    // gauge: executing right now
 	QueueDepth    int64 `json:"queue_depth"`    // gauge: waiting for a slot
+
+	JobsResumed      int64 `json:"jobs_resumed"`      // resume streams served
+	JobsRecovered    int64 `json:"jobs_recovered"`    // incomplete jobs re-admitted at startup
+	Checkpoints      int64 `json:"checkpoints"`       // run snapshots persisted
+	CheckpointErrors int64 `json:"checkpoint_errors"` // run snapshots the store failed to write
 
 	RunsTotal   int64   `json:"runs_total"`   // runs across all finished jobs
 	CyclesTotal int64   `json:"cycles_total"` // simulated cycles across all finished jobs
@@ -51,6 +60,12 @@ func (s *Server) Metrics() Metrics {
 		JobsBad:       s.met.jobsBad.Load(),
 		JobsActive:    s.met.jobsActive.Load(),
 		QueueDepth:    s.queued.Load(),
+
+		JobsResumed:      s.met.jobsResumed.Load(),
+		JobsRecovered:    s.met.jobsRecovered.Load(),
+		Checkpoints:      s.met.checkpoints.Load(),
+		CheckpointErrors: s.met.checkpointErrors.Load(),
+
 		RunsTotal:     s.met.runsTotal.Load(),
 		CyclesTotal:   s.met.cyclesTotal.Load(),
 		BusySeconds:   float64(s.met.busyNanos.Load()) / 1e9,

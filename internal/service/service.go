@@ -29,13 +29,16 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/durable"
 )
 
 // Config parameterizes a Server. The zero value of every field picks
@@ -80,6 +83,19 @@ type Config struct {
 	// same moment. A server-wide http.Server.WriteTimeout would be
 	// wrong here — it would kill legitimately long streams.
 	WriteTimeout time.Duration
+
+	// Store, when non-nil, makes jobs durable: admitted requests,
+	// delivered result lines, periodic run checkpoints and completion
+	// markers are appended to it, Recover re-admits incomplete jobs
+	// after a restart, and clients resume dropped streams with a
+	// resume token. Nil (the default) disables durability entirely —
+	// no records, no resume.
+	Store durable.Store
+
+	// CheckpointCycles is how often, in simulated cycles, an executing
+	// run's machine state is checkpointed into Store; <= 0 means
+	// 65536. Ignored without a Store.
+	CheckpointCycles int64
 }
 
 func (c Config) maxConcurrent() int { return defInt(c.MaxConcurrent, 2) }
@@ -100,6 +116,12 @@ func (c Config) maxBody() int64 {
 func (c Config) defaultDeadline() time.Duration { return defDur(c.DefaultDeadline, 60*time.Second) }
 func (c Config) maxDeadline() time.Duration     { return defDur(c.MaxDeadline, 10*time.Minute) }
 func (c Config) writeTimeout() time.Duration    { return defDur(c.WriteTimeout, 30*time.Second) }
+func (c Config) checkpointCycles() int64 {
+	if c.CheckpointCycles > 0 {
+		return c.CheckpointCycles
+	}
+	return 65536
+}
 
 func defInt(v, def int) int {
 	if v > 0 {
@@ -120,10 +142,18 @@ func defDur(v, def time.Duration) time.Duration {
 type Server struct {
 	cfg   Config
 	cache *core.ProgramCache
+	store durable.Store // nil: durability off
 	mux   *http.ServeMux
 
 	slots  chan struct{} // running-job slots (capacity MaxConcurrent)
 	queued atomic.Int64  // jobs waiting for a slot
+
+	// running tracks every job whose campaign is executing right now —
+	// foreground streams and background completions alike — so a
+	// resume stream can wait for its job's next result instead of
+	// polling the store.
+	runMu   sync.Mutex
+	running map[string]*jobRun
 
 	jobSeq atomic.Int64
 	met    counters
@@ -132,9 +162,11 @@ type Server struct {
 // New builds a Server from the config.
 func New(cfg Config) *Server {
 	s := &Server{
-		cfg:   cfg,
-		cache: cfg.Cache,
-		slots: make(chan struct{}, cfg.maxConcurrent()),
+		cfg:     cfg,
+		cache:   cfg.Cache,
+		store:   cfg.Store,
+		slots:   make(chan struct{}, cfg.maxConcurrent()),
+		running: map[string]*jobRun{},
 	}
 	if s.cache == nil {
 		s.cache = core.NewProgramCache()
@@ -179,22 +211,44 @@ func (s *Server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
 // handleJob admits, executes and streams one job. The response is
 // NDJSON: a JobHeader line, one RunLine per run in completion order
 // (each flushed as its run retires), and a JobTrailer line with the
-// campaign summary.
+// campaign summary. With a durable store configured, the admitted
+// request, every delivered result line, periodic checkpoints and the
+// completion marker are persisted as the stream runs, so a dropped
+// stream can be resumed (see handleResume) and an interrupted
+// campaign recovered after restart (see Recover).
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	var req JobRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.maxBody()))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		s.met.jobsBad.Add(1)
+		// An oversized body is its own protocol condition: 413 plus the
+		// limit, not a generic 400 — the client's fix (shrink or split
+		// the job) is different from fixing malformed JSON.
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				map[string]string{"error": fmt.Sprintf("request body exceeds this server's %d-byte limit", tooBig.Limit)})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad job request: %v", err)})
 		return
 	}
+	if req.Resume != nil {
+		s.handleResume(w, r, req)
+		return
+	}
+
+	// The id is allocated before admission so a queued job can be
+	// spilled to the durable store under its final name.
+	id := s.nextJobID()
 
 	// Admission: take a slot if one is free; otherwise wait in the
 	// bounded queue; past the queue, reject. Admission precedes the
 	// expensive half of the job — parsing and compiling the spec — so
 	// an oversubscribed server answers 429 promptly and cheaply
 	// instead of accumulating compile work it will never run.
+	persisted := false
 	select {
 	case s.slots <- struct{}{}:
 	default:
@@ -205,22 +259,32 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "queue full"})
 			return
 		}
+		// Queued: spill the admission to the store before blocking, so
+		// a job that made it past the 429 gate survives a restart even
+		// if it never reaches a slot. Rejected jobs never touch disk.
+		s.persistAdmit(id, req)
+		persisted = true
 		select {
 		case s.slots <- struct{}{}:
 			s.queued.Add(-1)
 		case <-r.Context().Done():
 			// The client gave up while queued: the job was never
-			// accepted, so it is neither a failure nor a rejection.
+			// executed. Its admit record stays in the store — a resume
+			// (or a restart's recovery) picks it up from there.
 			s.queued.Add(-1)
 			s.met.jobsAbandoned.Add(1)
 			return
 		}
 	}
 	defer func() { <-s.slots }()
+	if !persisted {
+		s.persistAdmit(id, req)
+	}
 
-	job, err := s.newJob(req)
+	job, err := s.newJob(id, req)
 	if err != nil {
 		s.met.jobsBad.Add(1)
+		s.dropJob(id)
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
@@ -228,6 +292,9 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	s.met.jobsAccepted.Add(1)
 	s.met.jobsActive.Add(1)
 	defer s.met.jobsActive.Add(-1)
+
+	jr := s.registerRun(id)
+	defer s.finishRun(id, jr)
 
 	deadline := s.cfg.defaultDeadline()
 	if req.DeadlineMS > 0 {
@@ -249,19 +316,55 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	out.line(job.header)
 
+	eng := s.cfg.Engine
+	if s.store != nil {
+		eng.Checkpoint = &storeCheckpointer{s: s, job: id}
+		eng.CheckpointEvery = s.cfg.checkpointCycles()
+	}
+
 	t0 := time.Now()
-	results, execErr := s.cfg.Engine.ExecuteStream(ctx, job.runs, func(res campaign.Result) {
-		out.line(ResultLine(res))
+	results, execErr := eng.ExecuteStream(ctx, job.runs, func(res campaign.Result) {
+		if s.store != nil && errors.Is(res.Err, context.Canceled) {
+			// A cancelled run is not an outcome: it resumes from its
+			// checkpoint later. Persisting nothing and streaming
+			// nothing keeps the invariant the resume token rides on —
+			// every line the client received has a stored record.
+			return
+		}
+		data, err := json.Marshal(ResultLine(res))
+		if err != nil {
+			out.fail(err)
+			return
+		}
+		if s.store != nil {
+			// Persist-then-write: the stored result records are always
+			// a superset of what any client received, so a resume
+			// token's delivered count indexes the stored prefix.
+			_ = s.store.Append(id, durable.Record{Kind: durable.KindResult, Run: int64(res.Index), Data: data})
+		}
+		out.raw(data)
+		jr.bump()
 	})
 	elapsed := time.Since(t0)
 
 	sum := campaign.Summarize(results, elapsed)
 	trailer := JobTrailer{Done: true, Summary: sum}
-	if execErr != nil {
+	switch {
+	case execErr == nil:
+		s.met.jobsCompleted.Add(1)
+		s.persistDone(id, nil)
+	case errors.Is(execErr, context.Canceled):
+		// The client went away mid-stream. That is not the job
+		// failing — its runs are checkpointed and no completion marker
+		// is written, so a resume (or restart recovery) finishes it.
+		trailer.Err = execErr.Error()
+		s.met.jobsAbandoned.Add(1)
+	default:
+		// Deadline exceeded or an engine error: the job genuinely
+		// finished, unsuccessfully.
 		trailer.Err = execErr.Error()
 		s.met.jobsFailed.Add(1)
-	} else {
-		s.met.jobsCompleted.Add(1)
+		s.persistDone(id, execErr)
 	}
 	s.met.runsTotal.Add(int64(sum.Runs))
 	s.met.cyclesTotal.Add(sum.Cycles)
@@ -271,6 +374,11 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	// state: left set, it would poison the next request on a
 	// keep-alive connection once it expires.
 	_ = out.rc.SetWriteDeadline(time.Time{})
+
+	// Everything delivered: the durable record served its purpose.
+	if execErr == nil && out.err == nil {
+		s.dropJob(id)
+	}
 }
 
 // lineWriter writes NDJSON lines, flushing after each so results are
@@ -296,11 +404,23 @@ func (lw *lineWriter) line(v any) {
 		lw.fail(err)
 		return
 	}
-	data = append(data, '\n')
+	lw.raw(data)
+}
+
+// raw writes one pre-rendered line (no trailing newline) — the path
+// resumed streams use to replay stored lines byte-identically.
+func (lw *lineWriter) raw(data []byte) {
+	if lw.err != nil {
+		return
+	}
 	// Best-effort: a ResponseWriter without deadline support just
 	// writes unbounded, as before.
 	_ = lw.rc.SetWriteDeadline(time.Now().Add(lw.timeout))
 	if _, err := lw.w.Write(data); err != nil {
+		lw.fail(err)
+		return
+	}
+	if _, err := lw.w.Write([]byte{'\n'}); err != nil {
 		lw.fail(err)
 		return
 	}

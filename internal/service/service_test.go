@@ -595,11 +595,17 @@ func TestServiceSlowReader(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
-	// Read nothing. The handler must still finish on its own.
+	// Read nothing. The handler must still finish on its own. A job
+	// whose client stopped reading is abandoned — the campaign was
+	// cancelled for the client's sake, not failed on its own terms —
+	// though a race against the last line can also complete it.
 	waitFor(t, "handler to finish despite unread stream", func() bool {
 		m := srv.Metrics()
-		return m.JobsActive == 0 && m.JobsCompleted+m.JobsFailed == 1
+		return m.JobsActive == 0 && m.JobsCompleted+m.JobsAbandoned == 1
 	})
+	if m := srv.Metrics(); m.JobsFailed != 0 {
+		t.Errorf("client disconnect counted as job failure: failed=%d", m.JobsFailed)
+	}
 }
 
 // TestServiceKeepAliveAfterStream: the per-line write deadline is

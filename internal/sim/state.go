@@ -121,6 +121,54 @@ func (m *Machine) SaveState() []byte {
 	return m.AppendState(make([]byte, 0, m.stateLen()))
 }
 
+// SnapshotCycle reads the cycle counter out of a state snapshot
+// without restoring it onto a machine. The snapshot layout is
+// self-describing (magic, slot count, per-memory lengths), so the
+// cycle field's offset can be derived from the bytes alone — which is
+// what lets a durability layer validate a checkpoint record's claimed
+// cycle against the snapshot it frames before trusting either. A
+// malformed or truncated snapshot is rejected with an error.
+func SnapshotCycle(st []byte) (int64, error) {
+	get := func(off int) (int64, bool) {
+		if off < 0 || off+8 > len(st) {
+			return 0, false
+		}
+		return int64(binary.LittleEndian.Uint64(st[off:])), true
+	}
+	magic, ok := get(0)
+	if !ok || uint64(magic) != stateMagic {
+		return 0, fmt.Errorf("sim: not a machine state snapshot")
+	}
+	nvals, ok := get(8)
+	if !ok || nvals < 0 || nvals > int64(len(st)) {
+		return 0, fmt.Errorf("sim: snapshot slot count %d out of range", nvals)
+	}
+	off := 16 + 8*int(nvals)
+	nmems, ok := get(off)
+	if !ok || nmems < 0 || nmems > int64(len(st)) {
+		return 0, fmt.Errorf("sim: snapshot memory count %d out of range", nmems)
+	}
+	off += 8
+	for i := int64(0); i < nmems; i++ {
+		cells, ok := get(off)
+		if !ok || cells < 0 || cells > int64(len(st)) {
+			return 0, fmt.Errorf("sim: snapshot memory %d length out of range", i)
+		}
+		off += 8 + 8*int(cells)
+	}
+	off += 3 * 8 * int(nmems) // addr/data/opn latches
+	cycle, ok := get(off)
+	if !ok {
+		return 0, fmt.Errorf("sim: snapshot truncated before cycle field")
+	}
+	// cycle + stats.Cycles + 4 counters per memory complete the layout;
+	// the total must match exactly or the snapshot is torn.
+	if want := off + 16 + 4*8*int(nmems); len(st) != want {
+		return 0, fmt.Errorf("sim: snapshot is %d bytes, framing says %d", len(st), want)
+	}
+	return cycle, nil
+}
+
 // RestoreState loads a snapshot produced by SaveState or AppendState.
 // The snapshot must come from a machine of identical shape (same
 // specification); a mismatched or corrupt snapshot is rejected with an

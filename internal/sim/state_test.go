@@ -13,6 +13,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/machines"
+	"repro/internal/sim"
 )
 
 func compileAll(t *testing.T, name, src string) map[core.Backend]*core.Program {
@@ -197,5 +198,67 @@ func TestStatsOwnership(t *testing.T) {
 	}
 	if got.MemReads() != reads || got.Cycles != 500 {
 		t.Errorf("earlier Stats mutated by Reset+reuse: %+v", got)
+	}
+}
+
+// TestSnapshotCycle: the exported checkpoint framing reads the cycle
+// counter straight out of snapshot bytes — Machine and Gang snapshots
+// alike — and rejects malformed or truncated input instead of
+// misreading it.
+func TestSnapshotCycle(t *testing.T) {
+	src, err := machines.SieveSpec(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := core.ParseString("sieve", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Compile(spec, core.Compiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.NewMachine(core.Options{})
+	for _, run := range []int64{0, 17, 100} {
+		if err := m.Run(run); err != nil {
+			t.Fatal(err)
+		}
+		st := m.SaveState()
+		got, err := sim.SnapshotCycle(st)
+		if err != nil {
+			t.Fatalf("cycle %d: %v", m.Cycle(), err)
+		}
+		if got != m.Cycle() {
+			t.Errorf("SnapshotCycle = %d, want %d", got, m.Cycle())
+		}
+		// Truncations anywhere must error, never misread.
+		for _, n := range []int{0, 7, 8, 15, len(st) / 2, len(st) - 1} {
+			if _, err := sim.SnapshotCycle(st[:n]); err == nil {
+				t.Errorf("truncated snapshot (%d bytes) accepted", n)
+			}
+		}
+		bad := append([]byte(nil), st...)
+		bad[0] ^= 0xff
+		if _, err := sim.SnapshotCycle(bad); err == nil {
+			t.Error("corrupt magic accepted")
+		}
+	}
+
+	// Gang lane snapshots share the framing.
+	g, ok := p.NewGang(2)
+	if !ok {
+		t.Fatal("compiled program should gang")
+	}
+	g.Reset([]int64{40, 90})
+	for g.Step(1000) {
+	}
+	for l := 0; l < 2; l++ {
+		got, err := sim.SnapshotCycle(g.SaveLaneState(l))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != g.LaneCycle(l) {
+			t.Errorf("lane %d: SnapshotCycle = %d, want %d", l, got, g.LaneCycle(l))
+		}
 	}
 }
