@@ -53,11 +53,12 @@ type (
 
 // Available backends.
 const (
-	Interp         = core.Interp
-	InterpNaive    = core.InterpNaive
-	Compiled       = core.Compiled
-	CompiledNoFold = core.CompiledNoFold
-	Bytecode       = core.Bytecode
+	Interp           = core.Interp
+	InterpNaive      = core.InterpNaive
+	Compiled         = core.Compiled
+	CompiledNoFold   = core.CompiledNoFold
+	CompiledNoBitpar = core.CompiledNoBitpar
+	Bytecode         = core.Bytecode
 )
 
 // Backends lists every available backend.

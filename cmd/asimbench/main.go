@@ -49,13 +49,17 @@ type Result struct {
 
 // Report is the file-level JSON shape.
 type Report struct {
-	Go                string   `json:"go"`
-	GOMAXPROCS        int      `json:"gomaxprocs"`
-	Short             bool     `json:"short"`
-	FusedSpeedup      float64  `json:"fused_speedup"`      // compiled-fused vs compiled, sieve
-	FleetBuildSpeedup float64  `json:"fleetbuild_speedup"` // pooled vs per-run construction, short-run fleet
-	GangSpeedup       float64  `json:"gang_speedup"`       // gang fleet vs pooled scalar fleet, Figure 5.1 workload
-	Results           []Result `json:"results"`
+	Go                string  `json:"go"`
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+	Short             bool    `json:"short"`
+	FusedSpeedup      float64 `json:"fused_speedup"`      // compiled-fused vs compiled, sieve
+	FleetBuildSpeedup float64 `json:"fleetbuild_speedup"` // pooled vs per-run construction, short-run fleet
+	GangSpeedup       float64 `json:"gang_speedup"`       // gang fleet vs pooled scalar fleet, Figure 5.1 workload
+	// BitParallelSpeedup is the bit-plane gang kernels against the
+	// lane-loop gang kernels on the 1-bit-heavy bit-mix fabric — the
+	// headline for the width-specialized path.
+	BitParallelSpeedup float64  `json:"bitparallel_speedup"`
+	Results            []Result `json:"results"`
 }
 
 func main() {
@@ -64,10 +68,16 @@ func main() {
 	out := flag.String("o", "BENCH_fused.json", "output path for the JSON report, or - for stdout")
 	workers := flag.String("workers", "1,2,4,8", "comma-separated worker counts for campaign scaling")
 	flag.IntVar(&reps, "reps", 3, "timed repetitions per configuration; the fastest is reported (noise rejection)")
+	cycles := flag.Int64("cycles", 0, "per-backend cycle budget (0 = 2M, or 100k with -short)")
 	flag.Parse()
 	if reps < 1 {
-		reps = 1
+		log.Fatalf("-reps must be at least 1, got %d", reps)
 	}
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "cycles" && *cycles <= 0 {
+			log.Fatalf("-cycles must be positive, got %d", *cycles)
+		}
+	})
 
 	perBackend := int64(2_000_000)
 	perFleetRun := int64(5545) // the Figure 5.1 workload length
@@ -75,6 +85,9 @@ func main() {
 	if *short {
 		perBackend = 100_000
 		fleetSize = 4
+	}
+	if *cycles > 0 {
+		perBackend = *cycles
 	}
 
 	var rep Report
@@ -191,57 +204,99 @@ func main() {
 	if *short {
 		gangFleet = campaign.DefaultGangSize
 	}
-	{
-		timeFleet := func(name string, gangSize int) (Result, []campaign.Result, error) {
-			eng := campaign.Engine{Workers: 1, GangSize: gangSize}
-			runs := campaign.Fleet("sieve", sieveProg, gangFleet, perFleetRun)
-			// Warm once untimed: the first gang use builds the lane
-			// kernels, and both paths deserve warm caches.
-			if _, err := eng.Execute(context.Background(), runs); err != nil {
-				return Result{}, nil, err
-			}
-			var results []campaign.Result
-			sec, err := minSeconds(func() (float64, error) {
-				start := time.Now()
-				res, err := eng.Execute(context.Background(), runs)
-				if err != nil {
-					return 0, err
-				}
-				sec := time.Since(start).Seconds()
-				if sum := campaign.Summarize(res, 0); sum.Errors != 0 || sum.Divergences != 0 {
-					return 0, fmt.Errorf("%s: %s", name, sum)
-				}
-				results = res
-				return sec, nil
-			})
+	// timeFleet times one fleet through the engine at a fixed gang
+	// width, warming once untimed first: the first gang use builds the
+	// lane kernels, and every path deserves warm caches.
+	timeFleet := func(name string, prog *asim2.Program, fleet int, perRun int64, gangSize int) (Result, []campaign.Result, error) {
+		eng := campaign.Engine{Workers: 1, GangSize: gangSize}
+		runs := campaign.Fleet(name, prog, fleet, perRun)
+		if _, err := eng.Execute(context.Background(), runs); err != nil {
+			return Result{}, nil, err
+		}
+		var results []campaign.Result
+		sec, err := minSeconds(func() (float64, error) {
+			start := time.Now()
+			res, err := eng.Execute(context.Background(), runs)
 			if err != nil {
-				return Result{}, nil, err
+				return 0, err
 			}
-			sum := campaign.Summarize(results, 0)
-			return Result{
-				Name:       name,
-				Cycles:     sum.Cycles,
-				Seconds:    sec,
-				NsPerCycle: sec * 1e9 / float64(sum.Cycles),
-				CyclesPerS: float64(sum.Cycles) / sec,
-			}, results, nil
+			sec := time.Since(start).Seconds()
+			if sum := campaign.Summarize(res, 0); sum.Errors != 0 || sum.Divergences != 0 {
+				return 0, fmt.Errorf("%s: %s", name, sum)
+			}
+			results = res
+			return sec, nil
+		})
+		if err != nil {
+			return Result{}, nil, err
 		}
-		scalar, scalarResults, err := timeFleet("gang/scalar-fleet", 1)
+		sum := campaign.Summarize(results, 0)
+		return Result{
+			Name:       name,
+			Cycles:     sum.Cycles,
+			Seconds:    sec,
+			NsPerCycle: sec * 1e9 / float64(sum.Cycles),
+			CyclesPerS: float64(sum.Cycles) / sec,
+		}, results, nil
+	}
+	// crossCheckFleets requires run-by-run digest agreement between two
+	// timed paths — a fast wrong simulator must fail, not report.
+	crossCheckFleets := func(aName string, a []campaign.Result, bName string, b []campaign.Result) {
+		for i := range a {
+			if a[i].Digest != b[i].Digest {
+				log.Fatalf("digest divergence at run %d: %s=%s %s=%s",
+					i, aName, a[i].Digest, bName, b[i].Digest)
+			}
+		}
+	}
+	{
+		scalar, scalarResults, err := timeFleet("gang/scalar-fleet", sieveProg, gangFleet, perFleetRun, 1)
 		if err != nil {
 			log.Fatal(err)
 		}
-		gang, gangResults, err := timeFleet(fmt.Sprintf("gang/gang-%d", campaign.DefaultGangSize), 0)
+		gang, gangResults, err := timeFleet(fmt.Sprintf("gang/gang-%d", campaign.DefaultGangSize), sieveProg, gangFleet, perFleetRun, campaign.DefaultGangSize)
 		if err != nil {
 			log.Fatal(err)
 		}
-		for i := range scalarResults {
-			if scalarResults[i].Digest != gangResults[i].Digest {
-				log.Fatalf("gang path digest divergence at run %d: scalar=%s gang=%s",
-					i, scalarResults[i].Digest, gangResults[i].Digest)
-			}
-		}
+		crossCheckFleets("scalar", scalarResults, "gang", gangResults)
 		rep.Results = append(rep.Results, scalar, gang)
 		rep.GangSpeedup = scalar.NsPerCycle / gang.NsPerCycle
+	}
+
+	// Bit-parallel kernels: the 1-bit-heavy bit-mix fabric ganged at
+	// one plane word (64 lanes), against the identical fleet forced
+	// onto the lane-loop gang kernels (compiled-nobitpar). Both paths
+	// run single-worker at the same width, so the ratio isolates the
+	// word-op kernels, and their digests must agree run by run.
+	{
+		perBitRun := int64(30_000)
+		if *short {
+			perBitRun = 6000
+		}
+		bitSpec, err := asim2.ParseString("bitmix", machines.BitMixSpec(8, 12))
+		if err != nil {
+			log.Fatal(err)
+		}
+		bitProg, err := asim2.Compile(bitSpec, asim2.Compiled)
+		if err != nil {
+			log.Fatal(err)
+		}
+		laneProg, err := asim2.Compile(bitSpec, asim2.CompiledNoBitpar)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lanes := campaign.DefaultBitGangSize
+		lane, laneResults, err := timeFleet("bitparallel/gang-laneloop", laneProg, lanes, perBitRun, lanes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bit, bitResults, err := timeFleet("bitparallel/gang-bitplane", bitProg, lanes, perBitRun, lanes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		crossCheckFleets("laneloop", laneResults, "bitplane", bitResults)
+		rep.Results = append(rep.Results, lane, bit)
+		rep.BitParallelSpeedup = lane.NsPerCycle / bit.NsPerCycle
 	}
 
 	// Fleet build: many short runs, where how the machine comes to
@@ -339,6 +394,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "fused speedup (sieve): %.2fx\n", rep.FusedSpeedup)
 	fmt.Fprintf(os.Stderr, "fleet-build speedup (pooled vs per-run construction): %.2fx\n", rep.FleetBuildSpeedup)
 	fmt.Fprintf(os.Stderr, "gang speedup (gang fleet vs pooled scalar fleet): %.2fx\n", rep.GangSpeedup)
+	fmt.Fprintf(os.Stderr, "bit-parallel speedup (bit-plane vs lane-loop gang kernels): %.2fx\n", rep.BitParallelSpeedup)
 }
 
 // reps is how many timed repetitions each configuration gets; the

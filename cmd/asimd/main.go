@@ -47,7 +47,7 @@ func main() {
 	addr := flag.String("addr", ":8420", "listen address")
 	workers := flag.Int("workers", 0, "engine worker goroutines per job (0 = GOMAXPROCS)")
 	chunk := flag.Int64("chunk", 0, "cycle granularity of cancellation checks (0 = engine default)")
-	gang := flag.Int("gang", 0, "gang width for lockstep execution (0 = engine default, 1 disables)")
+	gang := flag.Int("gang", 0, "gang width for lockstep execution (0 = adaptive per program, 1 disables)")
 	jobs := flag.Int("jobs", 0, "concurrent job slots (0 = default 2)")
 	queue := flag.Int("queue", 0, "jobs allowed to wait for a slot before 429 (0 = default 8)")
 	maxRuns := flag.Int("max-runs", 0, "per-job run cap (0 = default 4096)")
@@ -74,7 +74,7 @@ func main() {
 	}
 
 	srv := service.New(service.Config{
-		Engine:           campaign.Engine{Workers: *workers, Chunk: *chunk, GangSize: *gang},
+		Engine:           campaign.Engine{Workers: *workers, Chunk: *chunk, GangSize: *gang, Planner: &campaign.Planner{}},
 		MaxConcurrent:    *jobs,
 		MaxQueue:         *queue,
 		MaxRuns:          *maxRuns,

@@ -131,12 +131,26 @@ type Engine struct {
 	Chunk int64
 
 	// GangSize caps how many runs of one Program are stepped as a
-	// single struct-of-arrays gang: 0 means DefaultGangSize, and any
-	// value below 2 disables gang execution (a one-lane gang has
-	// nothing to amortize). The planner may narrow gangs further to
-	// keep every worker busy — parallelism is worth more than
-	// dispatch amortization (see plan).
+	// single struct-of-arrays gang: 0 picks a width per program —
+	// DefaultBitGangSize for programs whose gangs run bit-parallel
+	// kernels (64 lanes is exactly one plane word), DefaultGangSize
+	// otherwise, refined further by Planner when one is attached. Any
+	// value below 2 (but not 0) disables gang execution (a one-lane
+	// gang has nothing to amortize); 2 or more pins every gang to that
+	// width. The planner may narrow gangs further to keep every worker
+	// busy — parallelism is worth more than dispatch amortization (see
+	// plan).
 	GangSize int
+
+	// Planner, when non-nil, adapts gang widths from measured
+	// execution: execGang feeds per-program lane counts, retirement
+	// divergence and stepping time back, and plan narrows future gangs
+	// for programs whose lanes retire out of step (late lanes would
+	// drag a mostly-dead gang) or whose per-cycle cost makes wide
+	// chunks too coarse. Only consulted when GangSize is 0 (adaptive).
+	// Results stay byte-identical whatever the planner decides — gang
+	// width is purely a throughput choice.
+	Planner *Planner
 
 	// Checkpoint, when non-nil, receives binary state snapshots of
 	// in-flight runs: every CheckpointEvery simulated cycles and once
@@ -176,20 +190,123 @@ func runCheckpointable(r Run) bool {
 	return r.Program != nil && r.Opts == (core.Options{}) && len(r.Faults) == 0
 }
 
-// DefaultGangSize is the gang width Engine uses when GangSize is 0 —
-// wide enough to amortize component dispatch, narrow enough that a
-// gang's working set stays cache-resident on typical specs.
+// DefaultGangSize is the gang width Engine uses for plain lane-loop
+// programs when GangSize is 0 — wide enough to amortize component
+// dispatch, narrow enough that a gang's working set stays
+// cache-resident on typical specs.
 const DefaultGangSize = 32
 
-// gangWidth resolves the engine's effective gang width; 1 disables.
+// DefaultBitGangSize is the adaptive default for programs whose gangs
+// run bit-parallel kernels: 64 lanes fill exactly one plane word, so
+// the word-ops run at full occupancy.
+const DefaultBitGangSize = 64
+
+// gangWidth resolves the engine's width ceiling; 1 disables ganging.
+// When GangSize is 0 the real width is chosen per program (widthFor);
+// this is the capacity bound workers size their pooled gangs to.
 func (e Engine) gangWidth() int {
 	if e.GangSize == 0 {
-		return DefaultGangSize
+		return DefaultBitGangSize
 	}
 	if e.GangSize < 2 {
 		return 1
 	}
 	return e.GangSize
+}
+
+// chunk resolves the engine's stepping granularity.
+func (e Engine) chunk() int64 {
+	if e.Chunk <= 0 {
+		return 4096
+	}
+	return e.Chunk
+}
+
+// widthFor resolves one program's gang width: pinned by GangSize when
+// set, otherwise the capability default narrowed by planner feedback.
+func (e Engine) widthFor(p *core.Program) int {
+	if e.GangSize != 0 {
+		return e.gangWidth()
+	}
+	base := DefaultGangSize
+	if p.BitGangCapable() {
+		base = DefaultBitGangSize
+	}
+	if e.Planner != nil {
+		return e.Planner.widthFor(p, base, e.chunk())
+	}
+	return base
+}
+
+// Planner is the adaptive gang planner's memory: per-program execution
+// profiles accumulated across gang jobs (and campaigns — attach one
+// Planner to an engine's lifetime, not per Execute). Safe for
+// concurrent use; the zero value is ready.
+type Planner struct {
+	mu   sync.Mutex
+	prof map[*core.Program]*progProfile
+}
+
+// progProfile aggregates one program's gang history.
+type progProfile struct {
+	lanes  int64 // lanes dispatched through gangs
+	early  int64 // lanes that retired before their gang's last survivor
+	cycles int64 // lane-cycles actually executed
+	ns     int64 // wall-clock nanoseconds spent stepping
+}
+
+// plannerChunkBudgetNs bounds how long one full-width gang chunk may
+// run between cancellation checks: programs whose per-lane-cycle cost
+// would blow past it get narrower gangs instead of coarser latency.
+const plannerChunkBudgetNs = 4e6
+
+// widthFor narrows base for one program from its measured profile:
+// heavy retirement divergence halves or quarters the gang (late lanes
+// would otherwise drag a mostly-retired gang through compaction churn),
+// and a high per-lane-cycle cost caps the width so a chunk of gang
+// work stays under the latency budget. Unprofiled programs run at
+// base.
+func (pl *Planner) widthFor(p *core.Program, base int, chunk int64) int {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	pr := pl.prof[p]
+	if pr == nil || pr.lanes == 0 {
+		return base
+	}
+	w := base
+	if d := float64(pr.early) / float64(pr.lanes); d > 0.5 {
+		w = base / 4
+	} else if d > 0.25 {
+		w = base / 2
+	}
+	if pr.cycles > 0 {
+		nsPerLaneCycle := float64(pr.ns) / float64(pr.cycles)
+		if lim := plannerChunkBudgetNs / (float64(chunk) * nsPerLaneCycle); lim < float64(w) {
+			w = int(lim)
+		}
+	}
+	if w < 2 {
+		w = 2
+	}
+	return w
+}
+
+// record feeds one finished gang job back into the program's profile.
+func (pl *Planner) record(p *core.Program, lanes, early int, cycles, ns int64) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.prof == nil {
+		pl.prof = make(map[*core.Program]*progProfile)
+	}
+	pr := pl.prof[p]
+	if pr == nil {
+		pr = &progProfile{}
+		pl.prof[p] = pr
+	}
+	pr.lanes += int64(lanes)
+	pr.early += int64(early)
+	pr.cycles += cycles
+	pr.ns += ns
 }
 
 // runGangable reports whether a run may join a gang: it must reference
@@ -211,12 +328,13 @@ type span struct{ lo, hi int }
 // scalar path), every other run dispatches alone. order holds run
 // indices with each unit's members contiguous.
 //
-// Gang width is capped twice: by GangSize, and by ceil(gangable runs
-// / workers) — parallelism across workers is worth more than
-// dispatch amortization within a gang, so the planner narrows gangs
-// before it would leave a worker idle. A 16-run fleet on 8 workers
-// dispatches as 8 two-lane gangs, not one idle-everything 16-lane
-// gang; on a single worker it packs full-width gangs.
+// Gang width is resolved per program (widthFor: pinned GangSize, or
+// the capability default refined by planner feedback) and then capped
+// by ceil(gangable runs / workers) — parallelism across workers is
+// worth more than dispatch amortization within a gang, so the planner
+// narrows gangs before it would leave a worker idle. A 16-run fleet on
+// 8 workers dispatches as 8 two-lane gangs, not one idle-everything
+// 16-lane gang; on a single worker it packs full-width gangs.
 type plan struct {
 	order []int
 	jobs  []span
@@ -241,15 +359,18 @@ func (e Engine) plan(runs []Run, workers int) plan {
 			}
 			byProg[r.Program] = append(byProg[r.Program], i)
 		}
+		perWorker := 0
 		if workers > 1 && gangable > 0 {
-			if perWorker := (gangable + workers - 1) / workers; perWorker < gw {
-				gw = perWorker
-			}
+			perWorker = (gangable + workers - 1) / workers
 		}
 		for _, prog := range progs {
 			idxs := byProg[prog]
-			for gw >= 2 && len(idxs) >= 2 {
-				n := min(gw, len(idxs))
+			pw := e.widthFor(prog)
+			if perWorker > 0 && perWorker < pw {
+				pw = perWorker
+			}
+			for pw >= 2 && len(idxs) >= 2 {
+				n := min(pw, len(idxs))
 				lo := len(p.order)
 				p.order = append(p.order, idxs[:n]...)
 				p.jobs = append(p.jobs, span{lo, lo + n})
@@ -420,10 +541,8 @@ func (e Engine) execGang(ctx context.Context, w *worker, idxs []int, runs []Run,
 	w.targets = targets
 	g.Reset(targets)
 
-	chunk := e.Chunk
-	if chunk <= 0 {
-		chunk = 4096
-	}
+	chunk := e.chunk()
+	start := time.Now()
 	// Gang lanes are gangable by construction, and gangable implies
 	// checkpointable (zero Options, no faults), so the whole gang
 	// checkpoints together: every lane snapshots at the same stepping
@@ -445,6 +564,23 @@ func (e Engine) execGang(ctx context.Context, w *worker, idxs []int, runs []Run,
 			ctxErr = err
 			break
 		}
+	}
+	if e.Planner != nil {
+		var maxCycle, laneCycles int64
+		for l := range idxs {
+			if c := g.LaneCycle(l); c > maxCycle {
+				maxCycle = c
+			}
+		}
+		early := 0
+		for l := range idxs {
+			c := g.LaneCycle(l)
+			laneCycles += c
+			if c < maxCycle {
+				early++
+			}
+		}
+		e.Planner.record(runs[idxs[0]].Program, len(idxs), early, laneCycles, time.Since(start).Nanoseconds())
 	}
 	for l, i := range idxs {
 		res := &results[i]
@@ -524,10 +660,7 @@ func (e Engine) exec(ctx context.Context, w *worker, idx int, r Run) Result {
 		defer m.ClearHooks()
 	}
 
-	chunk := e.Chunk
-	if chunk <= 0 {
-		chunk = 4096
-	}
+	chunk := e.chunk()
 	ckpt := e.Checkpoint != nil && runCheckpointable(r)
 	var sinceCk int64
 	// Each chunk goes through the fused batch fast path when the run's

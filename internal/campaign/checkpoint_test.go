@@ -8,6 +8,7 @@ package campaign_test
 
 import (
 	"context"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -229,6 +230,167 @@ func TestCheckpointInterrupted(t *testing.T) {
 				i, merged[i].Digest, merged[i].Cycles, merged[i].Stats.Cycles,
 				ref[i].Digest, ref[i].Cycles, ref[i].Stats.Cycles)
 		}
+	}
+}
+
+// TestCheckpointMidCompactionResume: checkpoints taken from a gang
+// that compacts mid-campaign — most lanes retire early, the survivors'
+// columns move to low physical slots while the long lanes keep
+// running — must still resume byte-identical. This pins the logical→
+// physical translation under the durability layer: AppendLaneState
+// must follow a lane wherever compaction moved it.
+func TestCheckpointMidCompactionResume(t *testing.T) {
+	spec, err := core.ParseString("bitmix", machines.BitMixSpec(8, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Compile(spec, core.Compiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lanes, every = 32, 64
+	runs := make([]campaign.Run, lanes)
+	targets := make([]int64, lanes)
+	for i := range runs {
+		cycles := int64(40 + 11*i) // retire early, staggered
+		if i >= lanes-2 {
+			cycles = 4000 // the long tail that outlives compaction
+		}
+		runs[i] = campaign.Run{Name: "r", Program: p, Cycles: cycles}
+		targets[i] = cycles
+	}
+
+	// The campaign's gang is deterministic in (targets, chunk); prove
+	// this shape actually compacts by replaying it directly.
+	g, ok := p.NewGang(lanes)
+	if !ok || !g.BitParallel() {
+		t.Fatal("bitmix gang not bit-parallel")
+	}
+	g.Reset(targets)
+	compacted := false
+	for g.Step(32) {
+		if !g.Done() && g.LiveSpan() < lanes/2 {
+			compacted = true
+		}
+	}
+	if !compacted {
+		t.Fatal("test shape never compacted; budgets need retuning")
+	}
+
+	ref, err := campaign.Engine{Workers: 1, GangSize: 1, Chunk: 32}.
+		Execute(context.Background(), runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := newMemCheckpointer()
+	eng := campaign.Engine{Workers: 1, GangSize: lanes, Chunk: 32,
+		Checkpoint: ck, CheckpointEvery: every}
+	if _, err := eng.Execute(context.Background(), runs); err != nil {
+		t.Fatal(err)
+	}
+	// The long lanes must have checkpointed after compaction moved them.
+	for i := lanes - 2; i < lanes; i++ {
+		if ck.lastC[i] != runs[i].Cycles {
+			t.Fatalf("long run %d: last checkpoint at %d, want %d", i, ck.lastC[i], runs[i].Cycles)
+		}
+	}
+	resumed := make([]campaign.Run, lanes)
+	copy(resumed, runs)
+	for i := range resumed {
+		st, cyc := ck.first[i], ck.firstC[i]
+		if cyc <= 0 || cyc > runs[i].Cycles {
+			t.Fatalf("run %d: first checkpoint at %d outside (0, %d]", i, cyc, runs[i].Cycles)
+		}
+		resumed[i].Warm = campaign.WarmStartFromState(p, cyc, st)
+	}
+	got, err := campaign.Engine{Workers: 1, GangSize: 1, Chunk: 32}.
+		Execute(context.Background(), resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if got[i].Digest != ref[i].Digest || got[i].Cycles != ref[i].Cycles ||
+			got[i].Stats.Cycles != ref[i].Stats.Cycles {
+			t.Errorf("run %d: resumed %s/%d, uninterrupted %s/%d",
+				i, got[i].Digest, got[i].Cycles, ref[i].Digest, ref[i].Cycles)
+		}
+	}
+}
+
+// TestWarmStartDegradesToCold: every malformed warm start — wrong
+// program, snapshot cycle past the run's budget, non-positive cycle,
+// corrupt or truncated state bytes — must silently fall back to a
+// cold start that produces the exact cold-run results, never an error
+// and never a half-restored machine.
+func TestWarmStartDegradesToCold(t *testing.T) {
+	p := sieveProgram(t)
+	src, err := machines.SieveSpec(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := core.ParseString("sieve-b", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same spec, separately compiled: a distinct *Program identity is
+	// exactly the "misattached WarmStart" shape the engine must spot.
+	other, err := core.Compile(spec, core.Compiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cycles = 600
+	cold := []campaign.Run{{Name: "cold", Program: p, Cycles: cycles}}
+	ref, err := campaign.Engine{Workers: 1}.Execute(context.Background(), cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A genuine snapshot of p at cycle 200 — the raw material the
+	// corrupt variants start from.
+	m := p.NewMachine(core.Options{})
+	if err := m.RunBatch(200); err != nil {
+		t.Fatal(err)
+	}
+	good := m.SaveState()
+
+	for name, warm := range map[string]*campaign.WarmStart{
+		"wrong-program":   campaign.WarmStartFromState(other, 200, good),
+		"cycle-past-run":  campaign.WarmStartFromState(p, cycles+1, good),
+		"zero-cycle":      campaign.WarmStartFromState(p, 0, good),
+		"negative-cycle":  campaign.WarmStartFromState(p, -5, good),
+		"truncated-state": campaign.WarmStartFromState(p, 200, good[:len(good)/2]),
+		"empty-state":     campaign.WarmStartFromState(p, 200, nil),
+		"corrupt-magic": campaign.WarmStartFromState(p, 200, func() []byte {
+			bad := append([]byte(nil), good...)
+			bad[0] ^= 0xff
+			return bad
+		}()),
+	} {
+		runs := []campaign.Run{{Name: "cold", Program: p, Cycles: cycles, Warm: warm}}
+		got, err := campaign.Engine{Workers: 1}.Execute(context.Background(), runs)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got[0].Err != nil {
+			t.Fatalf("%s: run error %v, want silent cold start", name, got[0].Err)
+		}
+		if got[0].Digest != ref[0].Digest || got[0].Cycles != ref[0].Cycles ||
+			!reflect.DeepEqual(got[0].Stats, ref[0].Stats) {
+			t.Errorf("%s: degraded run diverged from cold start:\n got %+v\nwant %+v", name, got[0], ref[0])
+		}
+	}
+
+	// Sanity: a well-formed warm start from the same snapshot also
+	// matches the cold run (the fallback tests above would be vacuous
+	// if warm starts never engaged).
+	runs := []campaign.Run{{Name: "cold", Program: p, Cycles: cycles,
+		Warm: campaign.WarmStartFromState(p, 200, good)}}
+	got, err := campaign.Engine{Workers: 1}.Execute(context.Background(), runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Digest != ref[0].Digest || got[0].Stats.Cycles != ref[0].Stats.Cycles {
+		t.Errorf("well-formed warm start diverged: got %+v want %+v", got[0], ref[0])
 	}
 }
 

@@ -1,0 +1,139 @@
+package campaign
+
+// Adaptive gang planner: width selection from program capability and
+// measured feedback. Results must never depend on the width chosen —
+// the equivalence test at the bottom pins that while the planner is
+// actively narrowing.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machines"
+)
+
+func bitMixProgram(t *testing.T) *core.Program {
+	t.Helper()
+	spec, err := core.ParseString("bitmix", machines.BitMixSpec(8, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Compile(spec, core.Compiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestWidthForDefaults: pinned GangSize wins outright; adaptive mode
+// picks the capability default — one plane word for bit-parallel
+// programs, DefaultGangSize for lane-loop gangs.
+func TestWidthForDefaults(t *testing.T) {
+	sieve := sieveProgram(t, 20, core.Compiled)
+	bitmix := bitMixProgram(t)
+	if bitmix.BitGangCapable() == sieve.BitGangCapable() {
+		t.Fatal("fixture programs must differ in bit-gang capability")
+	}
+	if w := (Engine{GangSize: 8}).widthFor(bitmix); w != 8 {
+		t.Errorf("pinned GangSize: width %d, want 8", w)
+	}
+	if w := (Engine{}).widthFor(sieve); w != DefaultGangSize {
+		t.Errorf("lane-loop program: width %d, want %d", w, DefaultGangSize)
+	}
+	if w := (Engine{}).widthFor(bitmix); w != DefaultBitGangSize {
+		t.Errorf("bit-parallel program: width %d, want %d", w, DefaultBitGangSize)
+	}
+	// An attached planner with no profile changes nothing.
+	if w := (Engine{Planner: &Planner{}}).widthFor(bitmix); w != DefaultBitGangSize {
+		t.Errorf("unprofiled planner: width %d, want %d", w, DefaultBitGangSize)
+	}
+}
+
+// TestPlannerDivergenceNarrowing: retirement divergence halves the
+// gang past 25% and quarters it past 50%; a fast program with lanes
+// retiring together keeps the full width.
+func TestPlannerDivergenceNarrowing(t *testing.T) {
+	p := bitMixProgram(t)
+	for _, tc := range []struct {
+		early int
+		want  int
+	}{
+		{0, 64},  // lockstep retirement: full width
+		{10, 64}, // 10% divergence: full width
+		{30, 32}, // 30%: halved
+		{60, 16}, // 60%: quartered
+	} {
+		pl := &Planner{}
+		// Cheap per-lane-cycle cost so the latency cap stays out of
+		// the way: 100k lane-cycles in 1ms.
+		pl.record(p, 100, tc.early, 100_000, 1_000_000)
+		if w := pl.widthFor(p, 64, 64); w != tc.want {
+			t.Errorf("early=%d: width %d, want %d", tc.early, w, tc.want)
+		}
+	}
+}
+
+// TestPlannerLatencyCap: a program measured slow enough that a
+// full-width chunk would blow the latency budget gets a narrower
+// gang, never below two lanes.
+func TestPlannerLatencyCap(t *testing.T) {
+	p := bitMixProgram(t)
+	pl := &Planner{}
+	// 1000 lane-cycles took 4ms → 4µs per lane-cycle. A chunk of 64
+	// cycles then budgets 4e6/(64*4000) ≈ 15.6 lanes.
+	pl.record(p, 10, 0, 1000, 4_000_000)
+	if w := pl.widthFor(p, 64, 64); w != 15 {
+		t.Errorf("latency-capped width %d, want 15", w)
+	}
+	// Catastrophically slow: capped at the floor of 2, not 0.
+	slow := &Planner{}
+	slow.record(p, 10, 0, 10, 4_000_000_000)
+	if w := slow.widthFor(p, 64, 4096); w != 2 {
+		t.Errorf("floor width %d, want 2", w)
+	}
+}
+
+// TestPlannerRecordAccumulates: profiles aggregate across jobs and are
+// keyed per program.
+func TestPlannerRecordAccumulates(t *testing.T) {
+	a, b := bitMixProgram(t), sieveProgram(t, 20, core.Compiled)
+	pl := &Planner{}
+	pl.record(a, 50, 30, 1000, 1000)
+	pl.record(a, 50, 30, 1000, 1000)
+	pl.record(b, 100, 0, 1000, 1000)
+	if w := pl.widthFor(a, 64, 64); w != 16 {
+		t.Errorf("program a: width %d, want 16 (60%% divergence)", w)
+	}
+	if w := pl.widthFor(b, 32, 64); w != 32 {
+		t.Errorf("program b: width %d, want 32 (no divergence)", w)
+	}
+}
+
+// TestAdaptiveEngineEquivalence: a long-lived engine with an attached
+// planner executes the same fleet repeatedly; later campaigns run at
+// planner-adapted widths, and every one is bit-identical to the
+// scalar reference.
+func TestAdaptiveEngineEquivalence(t *testing.T) {
+	p := bitMixProgram(t)
+	runs := make([]Run, 24)
+	for i := range runs {
+		// Heavy retirement spread to provoke narrowing.
+		runs[i] = Run{Name: fmt.Sprintf("m%d", i), Program: p, Cycles: int64(20 + 90*i)}
+	}
+	want := executeScalar(t, runs)
+	eng := Engine{Workers: 2, Chunk: 64, Planner: &Planner{}}
+	for round := 0; round < 3; round++ {
+		got, err := eng.Execute(context.Background(), runs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameResults(t, fmt.Sprintf("adaptive round %d", round), got, want)
+	}
+	// The spread above retires most lanes well before the longest:
+	// the planner must have noticed and narrowed below the base.
+	if w := eng.widthFor(p); w >= DefaultBitGangSize {
+		t.Errorf("after 3 divergent campaigns widthFor = %d, want < %d", w, DefaultBitGangSize)
+	}
+}

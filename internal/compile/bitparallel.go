@@ -1,0 +1,585 @@
+package compile
+
+// Bit-parallel gang kernels (sim.BitGangStepper): logic over 1-bit
+// signals evaluated 64 lanes per machine word.
+//
+// The gang kernels (gang.go) removed the per-lane component dispatch
+// but still execute one lane-loop iteration per machine. For the large
+// fraction of a control-heavy machine that is single-bit logic —
+// enables, flags, mux selects, parity chains — the iteration itself is
+// waste: a 0/1 signal needs one bit, and 64 lanes of it fit in one
+// uint64. This file classifies which components provably stay in
+// {0, 1} for every reachable input, assigns those a bit plane
+// (planes[ordinal*pwords + lane>>6], lane's bit at lane&63), and
+// compiles the eligible logic to one word-op per 64 lanes:
+//
+//   - AND/MUL over 0/1 values is `&` (Land truncates to 32 bits, a
+//     no-op on 0/1); OR is `|` and XOR is `^` because the arithmetic
+//     encodings l+r-Land(l,r)[*2] coincide with them on 0/1;
+//   - EQ is ^(l^r) and LT is ^l&r, again exact on 0/1;
+//   - a two-case selector whose select is 0/1 is the branch-free mux
+//     c0&^s | c1&s — the select can never fault, so no lane loop;
+//   - LEFT/RIGHT/constant-select copies are word copies, and ZERO /
+//     UNUSED / out-of-range constant functions clear the plane.
+//
+// Components that are 0/1 but not word-computable (a bit extract from
+// a multi-bit source, an AND with one wide operand) keep their
+// existing lane-loop kernel and append a pack loop that mirrors the
+// fresh column into the plane. Planes read by remaining lane-loop
+// code (wide components, memory latches) append a scatter loop that
+// mirrors the plane back into the column. Packs and scatters are the
+// overhead that pays for the word-ops, so the whole path is enabled
+// only when words saved exceed mirrors added (see buildBit's gate);
+// otherwise BitPlaneSlots returns nil and gangs take the plain path.
+//
+// Memory slots are never plane-resident: commit writes lane columns,
+// and snapshots read them. The word-ops recompute every lane below the
+// gang's live span each cycle — halted lanes are a fixed point (their
+// packs and memories are frozen), and faulted lanes' bits are garbage
+// the gang never reads (sim.Gang materializes a lane's plane bits into
+// its column before detaching it or serving state).
+
+import (
+	"repro/internal/rtl/ast"
+	"repro/internal/sim"
+)
+
+// bitFn evaluates one combinational component for a bit-parallel gang:
+// either a word-op over planes[...], or a lane-loop over vals with a
+// pack/scatter mirror. words is the plane word count covering the
+// gang's live span; bits beyond the span are garbage and stay so.
+type bitFn func(vals []int64, planes []uint64, stride, pwords, words int, active []int, cycles []int64)
+
+// BitPlaneSlots implements sim.BitGangStepper. A nil result means the
+// program gains nothing from bit-packing and gangs should take the
+// plain lane-loop path.
+func (c *Compiled) BitPlaneSlots() []int {
+	c.bitOnce.Do(c.buildBit)
+	return c.bitSlots
+}
+
+// StepCycleGangBits implements sim.BitGangStepper: one cycle of
+// component-major evaluation with 0/1 logic running 64 lanes per word,
+// bit-identical per lane to StepCycle on a machine in the same state.
+// The latch kernels are the gang path's own, unchanged.
+func (c *Compiled) StepCycleGangBits(vals []int64, planes []uint64, addr, data, opn []int64, stride, pwords, words int, active []int, cycles []int64) {
+	c.bitOnce.Do(c.buildBit)
+	for _, fn := range c.bitComb {
+		fn(vals, planes, stride, pwords, words, active, cycles)
+	}
+	for _, fn := range c.gangLatches {
+		fn(vals, addr, data, opn, stride, active)
+	}
+}
+
+// buildBit classifies the program and compiles the bit-parallel kernel
+// list, once, on first bit-gang probe. It leaves bitSlots nil — no bit
+// path — when disabled by options or when the word-ops would not pay
+// for their pack/scatter mirrors.
+func (c *Compiled) buildBit() {
+	if c.opts.NoFold || c.opts.NoBitParallel {
+		return
+	}
+	c.gangOnce.Do(c.buildGang)
+	info := c.info
+	is01 := c.classify01()
+	isMem := make([]bool, len(info.Order))
+	for _, m := range info.Mems {
+		isMem[info.Slot[m.Name]] = true
+	}
+
+	// Pass 1: which components compile to word-ops. A component
+	// qualifies when its output is 0/1 and every operand is a plane
+	// (whole/low-bit reference to a 0/1 combinational signal) or a
+	// broadcastable constant.
+	wordable := make([]bool, len(info.Comb))
+	srcsOf := make([][]int, len(info.Comb))
+	for i, comp := range info.Comb {
+		if !is01[info.Slot[comp.CompName()]] {
+			continue
+		}
+		switch comp := comp.(type) {
+		case *ast.ALU:
+			fv, ok := comp.Funct.ConstValue()
+			if !ok {
+				continue
+			}
+			switch fv {
+			case sim.FnNot, sim.FnAdd, sim.FnSub, sim.FnShl:
+				// Not 0/1-preserving (classify01 agrees) — unreachable
+				// here, but keep the word-op set explicit.
+			case sim.FnZero, sim.FnUnused:
+				wordable[i] = true
+			case sim.FnLeft:
+				srcsOf[i], wordable[i] = c.wordSrcs(is01, isMem, &comp.Left)
+			case sim.FnRight:
+				srcsOf[i], wordable[i] = c.wordSrcs(is01, isMem, &comp.Right)
+			case sim.FnAnd, sim.FnMul, sim.FnOr, sim.FnXor, sim.FnEq, sim.FnLt:
+				srcsOf[i], wordable[i] = c.wordSrcs(is01, isMem, &comp.Left, &comp.Right)
+			default:
+				// Out-of-range constant function: evaluates to 0.
+				wordable[i] = true
+			}
+		case *ast.Selector:
+			if sv, ok := comp.Select.ConstValue(); ok {
+				if sv >= 0 && sv < int64(len(comp.Cases)) {
+					srcsOf[i], wordable[i] = c.wordSrcs(is01, isMem, &comp.Cases[sv])
+				}
+				// Out-of-range constant select faults every cycle;
+				// leave it on the lane-loop kernel.
+				continue
+			}
+			// Dynamic select: only the 2-case 0/1 mux is branch- and
+			// fault-free as a word-op. (A 1-case selector faults when
+			// the 0/1 select reads 1.)
+			if len(comp.Cases) == 2 && c.expr01(is01, &comp.Select) {
+				srcsOf[i], wordable[i] = c.wordSrcs(is01, isMem, &comp.Select, &comp.Cases[0], &comp.Cases[1])
+			}
+		}
+	}
+
+	// Pass 2: the plane set — word-op outputs plus their plane sources,
+	// ordinals assigned in first-encounter dependency order.
+	planeOf := make([]int, len(info.Order))
+	for i := range planeOf {
+		planeOf[i] = -1
+	}
+	var slots []int
+	addPlane := func(slot int) {
+		if planeOf[slot] < 0 {
+			planeOf[slot] = len(slots)
+			slots = append(slots, slot)
+		}
+	}
+	for i, comp := range info.Comb {
+		if wordable[i] {
+			addPlane(info.Slot[comp.CompName()])
+			for _, s := range srcsOf[i] {
+				addPlane(s)
+			}
+		}
+	}
+	if len(slots) == 0 {
+		return
+	}
+
+	// Pass 3: which planes the remaining lane-loop code reads — those
+	// must scatter back into their columns after the word-op. (A pack
+	// slot's column is already fresh — its lane-loop kernel wrote it —
+	// so only word-op outputs ever need the mirror.) Memory latches
+	// honor the dead-data elision, like the kernels they feed.
+	wordOut := make([]bool, len(info.Order))
+	for i, comp := range info.Comb {
+		if wordable[i] {
+			wordOut[info.Slot[comp.CompName()]] = true
+		}
+	}
+	scatter := make([]bool, len(info.Order))
+	markRefs := func(e *ast.Expr) {
+		for _, name := range e.Refs() {
+			if s := info.Slot[name]; wordOut[s] {
+				scatter[s] = true
+			}
+		}
+	}
+	for i, comp := range info.Comb {
+		if wordable[i] {
+			continue
+		}
+		switch comp := comp.(type) {
+		case *ast.ALU:
+			markRefs(&comp.Funct)
+			markRefs(&comp.Left)
+			markRefs(&comp.Right)
+		case *ast.Selector:
+			markRefs(&comp.Select)
+			for j := range comp.Cases {
+				markRefs(&comp.Cases[j])
+			}
+		}
+	}
+	for _, m := range info.Mems {
+		markRefs(&m.Addr)
+		markRefs(&m.Opn)
+		if v, ok := m.Opn.ConstValue(); ok {
+			if op := v & 3; op == sim.OpRead || op == sim.OpInput {
+				continue // dead data latch never reads
+			}
+		}
+		markRefs(&m.Data)
+	}
+
+	// The profitability gate: every word-op saves a lane loop, every
+	// pack or scatter adds one back. Require a strict net win so a
+	// mostly-wide program (sieve) keeps its measured plain-gang speed.
+	nWord, nPack, nScatter := 0, 0, 0
+	for i, comp := range info.Comb {
+		slot := info.Slot[comp.CompName()]
+		switch {
+		case wordable[i]:
+			nWord++
+		case planeOf[slot] >= 0:
+			nPack++
+		}
+	}
+	for _, sc := range scatter {
+		if sc {
+			nScatter++
+		}
+	}
+	if nWord-nPack-nScatter < 1 {
+		return
+	}
+
+	// Pass 4: the kernel list. Word-ops write planes (scattering to the
+	// column when lane-loop code reads it); 0/1-but-wideworld components
+	// run their gang kernel then pack; everything else is the gang
+	// kernel unchanged.
+	comb := make([]bitFn, 0, len(info.Comb))
+	for i, comp := range info.Comb {
+		slot := info.Slot[comp.CompName()]
+		gf := c.gangComb[i]
+		switch {
+		case wordable[i]:
+			fn := c.wordFn(comp, is01, isMem, planeOf)
+			if scatter[slot] {
+				fn = withScatter(fn, slot, planeOf[slot])
+			}
+			comb = append(comb, fn)
+		case planeOf[slot] >= 0:
+			comb = append(comb, withPack(gf, slot, planeOf[slot]))
+		default:
+			comb = append(comb, liftGang(gf))
+		}
+	}
+	c.bitComb, c.bitSlots = comb, slots
+}
+
+// classify01 computes, per slot, whether the signal provably stays in
+// {0, 1} for every reachable machine state. Combinational components
+// classify in one dependency-order pass given an assumption about each
+// memory; memories start optimistic (all initial cells 0/1) and demote
+// when their written data is not provably 0/1, iterating to a fixed
+// point. Conservative everywhere: false never breaks correctness, it
+// only forfeits a word-op.
+func (c *Compiled) classify01() []bool {
+	info := c.info
+	is01 := make([]bool, len(info.Order))
+	memOK := make([]bool, len(info.Mems))
+	for i, m := range info.Mems {
+		ok := true
+		for _, v := range m.Init {
+			if v != 0 && v != 1 {
+				ok = false
+				break
+			}
+		}
+		memOK[i] = ok
+	}
+	for {
+		for i, m := range info.Mems {
+			is01[info.Slot[m.Name]] = memOK[i]
+		}
+		for _, comp := range info.Comb {
+			slot := info.Slot[comp.CompName()]
+			switch comp := comp.(type) {
+			case *ast.ALU:
+				is01[slot] = c.alu01(is01, comp)
+			case *ast.Selector:
+				is01[slot] = c.sel01(is01, comp)
+			}
+		}
+		changed := false
+		for i, m := range info.Mems {
+			if memOK[i] && !c.mem01(is01, m) {
+				memOK[i] = false
+				changed = true
+			}
+		}
+		if !changed {
+			return is01
+		}
+	}
+}
+
+func (c *Compiled) alu01(is01 []bool, a *ast.ALU) bool {
+	fv, ok := a.Funct.ConstValue()
+	if !ok {
+		return false
+	}
+	switch fv {
+	case sim.FnZero, sim.FnUnused, sim.FnEq, sim.FnLt:
+		return true
+	case sim.FnLeft:
+		return c.expr01(is01, &a.Left)
+	case sim.FnRight:
+		return c.expr01(is01, &a.Right)
+	case sim.FnAnd, sim.FnMul:
+		// Land truncates to 32 bits first, so one 0/1 operand bounds
+		// AND; MUL has no truncation and needs both.
+		if fv == sim.FnAnd {
+			return c.expr01(is01, &a.Left) || c.expr01(is01, &a.Right)
+		}
+		return c.expr01(is01, &a.Left) && c.expr01(is01, &a.Right)
+	case sim.FnOr, sim.FnXor:
+		return c.expr01(is01, &a.Left) && c.expr01(is01, &a.Right)
+	case sim.FnNot, sim.FnAdd, sim.FnSub, sim.FnShl:
+		// NOT is Mask-l; ADD/SUB escape the range; SHL of 0/1 by 1 is
+		// 2. None preserve {0,1}.
+		return false
+	default:
+		return true // out-of-range constant function yields 0
+	}
+}
+
+func (c *Compiled) sel01(is01 []bool, s *ast.Selector) bool {
+	if sv, ok := s.Select.ConstValue(); ok {
+		if sv >= 0 && sv < int64(len(s.Cases)) {
+			return c.expr01(is01, &s.Cases[sv])
+		}
+		return false // faults every cycle; nothing to prove
+	}
+	reach := s.Cases
+	if c.expr01(is01, &s.Select) && len(reach) > 2 {
+		reach = reach[:2] // a 0/1 select only reaches the first two
+	}
+	for i := range reach {
+		if !c.expr01(is01, &reach[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// mem01 reports whether a memory whose cells are currently all 0/1
+// stays that way for one more cycle.
+func (c *Compiled) mem01(is01 []bool, m *ast.Memory) bool {
+	if v, ok := m.Opn.ConstValue(); ok {
+		if op := v & 3; op == sim.OpRead || op == sim.OpInput {
+			return true // never written; the 0/1 initial image persists
+		}
+	}
+	return c.expr01(is01, &m.Data)
+}
+
+// expr01 reports whether an expression provably evaluates to 0 or 1.
+func (c *Compiled) expr01(is01 []bool, e *ast.Expr) bool {
+	if v, ok := e.ConstValue(); ok {
+		return v == 0 || v == 1
+	}
+	if len(e.Parts) != 1 {
+		return false // concatenations shift left; assume wide
+	}
+	r, ok := e.Parts[0].(*ast.Ref)
+	if !ok {
+		return false
+	}
+	switch r.Mode {
+	case ast.RefBit:
+		return true // a single extracted bit is 0/1 by construction
+	case ast.RefRange:
+		return r.From == r.To || is01[c.info.Slot[r.Name]]
+	default: // RefWhole
+		return is01[c.info.Slot[r.Name]]
+	}
+}
+
+// wordSrc is one word-op operand: a plane ordinal, or a broadcast
+// constant word when plane is negative.
+type wordSrc struct {
+	plane int
+	cval  uint64
+}
+
+func (s wordSrc) at(planes []uint64, pwords, w int) uint64 {
+	if s.plane < 0 {
+		return s.cval
+	}
+	return planes[s.plane*pwords+w]
+}
+
+// wordSrcSlot resolves an expression to a word-op source: the slot of
+// a plane-eligible 0/1 combinational signal (slot >= 0), a broadcast
+// constant (slot -1 with the word), or not word-representable at all
+// (ok false). Memory slots are columns, never planes, so a reference
+// to one disqualifies the component rather than packing the memory.
+func (c *Compiled) wordSrcSlot(is01, isMem []bool, e *ast.Expr) (slot int, cw uint64, ok bool) {
+	if v, cok := e.ConstValue(); cok {
+		switch v {
+		case 0:
+			return -1, 0, true
+		case 1:
+			return -1, ^uint64(0), true
+		}
+		return -1, 0, false
+	}
+	if len(e.Parts) != 1 {
+		return -1, 0, false
+	}
+	r, rok := e.Parts[0].(*ast.Ref)
+	if !rok {
+		return -1, 0, false
+	}
+	s := c.info.Slot[r.Name]
+	if isMem[s] || !is01[s] {
+		return -1, 0, false
+	}
+	switch r.Mode {
+	case ast.RefWhole:
+		return s, 0, true
+	case ast.RefBit, ast.RefRange:
+		if r.From == 0 {
+			return s, 0, true // low bit/range of a 0/1 value is the value
+		}
+		return -1, 0, true // any higher bit of a 0/1 value is 0
+	}
+	return -1, 0, false
+}
+
+// wordSrcs resolves a component's operand expressions, returning the
+// plane-source slots and whether every operand is word-representable.
+func (c *Compiled) wordSrcs(is01, isMem []bool, exprs ...*ast.Expr) ([]int, bool) {
+	var srcs []int
+	for _, e := range exprs {
+		slot, _, ok := c.wordSrcSlot(is01, isMem, e)
+		if !ok {
+			return nil, false
+		}
+		if slot >= 0 {
+			srcs = append(srcs, slot)
+		}
+	}
+	return srcs, true
+}
+
+// wordSrcFor is wordSrcSlot lowered to the runtime descriptor, once
+// plane ordinals exist. Only valid for expressions wordSrcs accepted.
+func (c *Compiled) wordSrcFor(is01, isMem []bool, planeOf []int, e *ast.Expr) wordSrc {
+	slot, cw, _ := c.wordSrcSlot(is01, isMem, e)
+	if slot < 0 {
+		return wordSrc{plane: -1, cval: cw}
+	}
+	return wordSrc{plane: planeOf[slot]}
+}
+
+// wordFn compiles one word-op component. Callers guarantee the
+// component passed pass 1, so every case here is total.
+func (c *Compiled) wordFn(comp ast.Component, is01, isMem []bool, planeOf []int) bitFn {
+	po := planeOf[c.info.Slot[comp.CompName()]]
+	switch comp := comp.(type) {
+	case *ast.ALU:
+		fv, _ := comp.Funct.ConstValue()
+		ls := c.wordSrcFor(is01, isMem, planeOf, &comp.Left)
+		rs := c.wordSrcFor(is01, isMem, planeOf, &comp.Right)
+		switch fv {
+		case sim.FnLeft:
+			return wordCopy(po, ls)
+		case sim.FnRight:
+			return wordCopy(po, rs)
+		case sim.FnAnd, sim.FnMul:
+			return func(_ []int64, planes []uint64, _, pwords, words int, _ []int, _ []int64) {
+				ob := po * pwords
+				for w := 0; w < words; w++ {
+					planes[ob+w] = ls.at(planes, pwords, w) & rs.at(planes, pwords, w)
+				}
+			}
+		case sim.FnOr:
+			return func(_ []int64, planes []uint64, _, pwords, words int, _ []int, _ []int64) {
+				ob := po * pwords
+				for w := 0; w < words; w++ {
+					planes[ob+w] = ls.at(planes, pwords, w) | rs.at(planes, pwords, w)
+				}
+			}
+		case sim.FnXor:
+			return func(_ []int64, planes []uint64, _, pwords, words int, _ []int, _ []int64) {
+				ob := po * pwords
+				for w := 0; w < words; w++ {
+					planes[ob+w] = ls.at(planes, pwords, w) ^ rs.at(planes, pwords, w)
+				}
+			}
+		case sim.FnEq:
+			return func(_ []int64, planes []uint64, _, pwords, words int, _ []int, _ []int64) {
+				ob := po * pwords
+				for w := 0; w < words; w++ {
+					planes[ob+w] = ^(ls.at(planes, pwords, w) ^ rs.at(planes, pwords, w))
+				}
+			}
+		case sim.FnLt:
+			return func(_ []int64, planes []uint64, _, pwords, words int, _ []int, _ []int64) {
+				ob := po * pwords
+				for w := 0; w < words; w++ {
+					planes[ob+w] = ^ls.at(planes, pwords, w) & rs.at(planes, pwords, w)
+				}
+			}
+		default: // FnZero, FnUnused, out-of-range constants
+			return func(_ []int64, planes []uint64, _, pwords, words int, _ []int, _ []int64) {
+				ob := po * pwords
+				for w := 0; w < words; w++ {
+					planes[ob+w] = 0
+				}
+			}
+		}
+	case *ast.Selector:
+		if sv, ok := comp.Select.ConstValue(); ok {
+			return wordCopy(po, c.wordSrcFor(is01, isMem, planeOf, &comp.Cases[sv]))
+		}
+		ss := c.wordSrcFor(is01, isMem, planeOf, &comp.Select)
+		c0 := c.wordSrcFor(is01, isMem, planeOf, &comp.Cases[0])
+		c1 := c.wordSrcFor(is01, isMem, planeOf, &comp.Cases[1])
+		return func(_ []int64, planes []uint64, _, pwords, words int, _ []int, _ []int64) {
+			ob := po * pwords
+			for w := 0; w < words; w++ {
+				s := ss.at(planes, pwords, w)
+				planes[ob+w] = c0.at(planes, pwords, w)&^s | c1.at(planes, pwords, w)&s
+			}
+		}
+	}
+	panic("compile: wordFn on unknown component type")
+}
+
+func wordCopy(po int, src wordSrc) bitFn {
+	return func(_ []int64, planes []uint64, _, pwords, words int, _ []int, _ []int64) {
+		ob := po * pwords
+		for w := 0; w < words; w++ {
+			planes[ob+w] = src.at(planes, pwords, w)
+		}
+	}
+}
+
+// withPack runs a component's lane-loop kernel and mirrors the fresh
+// column into its plane, for 0/1 components the word-ops consume but
+// cannot compute.
+func withPack(gf gangFn, slot, plane int) bitFn {
+	return func(vals []int64, planes []uint64, stride, pwords, _ int, active []int, cycles []int64) {
+		gf(vals, stride, active, cycles)
+		ob, pb := slot*stride, plane*pwords
+		for _, l := range active {
+			bit := uint(l & 63)
+			pw := pb + l>>6
+			if vals[ob+l] != 0 {
+				planes[pw] |= 1 << bit
+			} else {
+				planes[pw] &^= 1 << bit
+			}
+		}
+	}
+}
+
+// withScatter mirrors a freshly word-computed plane back into its
+// column for the lane-loop code downstream that reads it.
+func withScatter(fn bitFn, slot, plane int) bitFn {
+	return func(vals []int64, planes []uint64, stride, pwords, words int, active []int, cycles []int64) {
+		fn(vals, planes, stride, pwords, words, active, cycles)
+		ob, pb := slot*stride, plane*pwords
+		for _, l := range active {
+			vals[ob+l] = int64(planes[pb+l>>6] >> uint(l&63) & 1)
+		}
+	}
+}
+
+// liftGang adapts an unchanged lane-loop kernel to the bit kernel list.
+func liftGang(gf gangFn) bitFn {
+	return func(vals []int64, _ []uint64, stride, _, _ int, active []int, cycles []int64) {
+		gf(vals, stride, active, cycles)
+	}
+}

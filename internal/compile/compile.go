@@ -37,8 +37,16 @@ type combFn func(vals []int64, cycle int64)
 type Options struct {
 	// NoFold disables constant folding and constant-function ALU /
 	// constant-select selector specialization (§4.4), forcing the
-	// fully generic code paths. Used by ablation benchmarks.
+	// fully generic code paths. Used by ablation benchmarks. NoFold
+	// also disables bit-parallel gang kernels, which build on the
+	// folded classification.
 	NoFold bool
+
+	// NoBitParallel disables the bit-parallel gang kernels
+	// (bitparallel.go), forcing gangs onto the plain lane-loop path.
+	// Used by the ablation benchmarks and the differential tests that
+	// compare the two gang paths.
+	NoBitParallel bool
 }
 
 // Compiled implements sim.Evaluator with pre-compiled closures,
@@ -61,6 +69,10 @@ type Compiled struct {
 	gangOnce    sync.Once
 	gangComb    []gangFn
 	gangLatches []gangLatchFn
+
+	bitOnce  sync.Once
+	bitComb  []bitFn
+	bitSlots []int
 }
 
 type memFns struct {
@@ -108,6 +120,9 @@ func zeroExpr([]int64) int64 { return 0 }
 func (c *Compiled) BackendName() string {
 	if c.opts.NoFold {
 		return "compiled-nofold"
+	}
+	if c.opts.NoBitParallel {
+		return "compiled-nobitpar"
 	}
 	return "compiled"
 }

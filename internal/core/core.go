@@ -50,6 +50,10 @@ const (
 	// CompiledNoFold is Compiled with §4.4's constant-folding
 	// optimizations disabled (ablation).
 	CompiledNoFold Backend = "compiled-nofold"
+	// CompiledNoBitpar is Compiled with the bit-parallel gang kernels
+	// disabled, pinning gangs to the plain lane-loop path (ablation,
+	// and the reference side of the bit-parallel differential tests).
+	CompiledNoBitpar Backend = "compiled-nobitpar"
 	// Bytecode lowers expressions to flat part-programs run by an
 	// accumulator VM (ablation midpoint).
 	Bytecode Backend = "bytecode"
@@ -57,7 +61,7 @@ const (
 
 // Backends lists every available backend.
 func Backends() []Backend {
-	return []Backend{Interp, InterpNaive, Compiled, CompiledNoFold, Bytecode}
+	return []Backend{Interp, InterpNaive, Compiled, CompiledNoFold, CompiledNoBitpar, Bytecode}
 }
 
 // Spec is a parsed and semantically analyzed specification.
@@ -168,6 +172,12 @@ func (p *Program) NewMachine(opts Options) *Machine {
 // between gang and pooled scalar execution.
 func (p *Program) GangCapable() bool { return sim.CanGang(p.eval) }
 
+// BitGangCapable reports whether the program's gangs run bit-parallel
+// kernels (implements sim.BitGangStepper with a non-empty plane set).
+// The campaign planner uses it to widen the default gang size: word-op
+// lanes are nearly free, so bit-capable programs want 64-lane gangs.
+func (p *Program) BitGangCapable() bool { return sim.CanBitGang(p.eval) }
+
 // NewGang builds a struct-of-arrays gang of up to capacity lanes
 // running this program, or reports ok=false when the backend does not
 // implement sim.GangStepper. Like machines, gangs hold only mutable
@@ -187,6 +197,8 @@ func NewEvaluator(info *sem.Info, b Backend) (sim.Evaluator, error) {
 		return compile.New(info), nil
 	case CompiledNoFold:
 		return compile.NewWithOptions(info, compile.Options{NoFold: true}), nil
+	case CompiledNoBitpar:
+		return compile.NewWithOptions(info, compile.Options{NoBitParallel: true}), nil
 	case Bytecode:
 		return bytecode.New(info), nil
 	default:

@@ -272,6 +272,71 @@ E
 	return b.String()
 }
 
+// BitMixSpec builds a 1-bit-heavy mixing fabric: regs single-bit
+// registers feed a tap layer, depth layers of XOR/AND/OR gates and
+// two-way muxes stir the bits, and the final layer writes back into
+// the registers XOR-rotated one position. Register r0 toggles every
+// cycle (its writeback is eq(r0, 0)), so activity is guaranteed to
+// propagate around the ring forever. A small 8-bit counter rides along
+// as multi-bit ballast so the machine also exercises the mixed
+// word-op/lane-loop path. This is the Figure 5.1-style workload for
+// the bit-parallel gang kernels: every gate is provably 0/1, so all
+// but the tap layer compiles to one word-op per 64 lanes.
+func BitMixSpec(regs, depth int) string {
+	if regs < 2 {
+		regs = 2
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	sig := func(d, i int) string {
+		if d == 0 {
+			return fmt.Sprintf("t%d", i)
+		}
+		return fmt.Sprintf("g%dx%d", d, i)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# bit-mix fabric: %d one-bit registers, %d mixing layers\n", regs, depth)
+	b.WriteString("= 2000\n")
+	for i := 0; i < regs; i++ {
+		fmt.Fprintf(&b, "r%d t%d w%d ", i, i, i)
+	}
+	for d := 1; d <= depth; d++ {
+		for i := 0; i < regs; i++ {
+			fmt.Fprintf(&b, "%s ", sig(d, i))
+		}
+	}
+	b.WriteString("cnt inc .\n")
+	for i := 0; i < regs; i++ {
+		fmt.Fprintf(&b, "A t%d 2 r%d 0\n", i, i)
+	}
+	for d := 1; d <= depth; d++ {
+		for i := 0; i < regs; i++ {
+			a, c, e := sig(d-1, i), sig(d-1, (i+1)%regs), sig(d-1, (i+2)%regs)
+			switch (d + i) % 5 {
+			case 0:
+				fmt.Fprintf(&b, "S %s %s.0 %s %s\n", sig(d, i), a, c, e) // mux
+			case 1:
+				fmt.Fprintf(&b, "A %s 9 %s %s\n", sig(d, i), a, c) // or
+			case 2:
+				fmt.Fprintf(&b, "A %s 8 %s %s\n", sig(d, i), a, e) // and
+			default:
+				fmt.Fprintf(&b, "A %s 10 %s %s\n", sig(d, i), a, c) // xor
+			}
+		}
+	}
+	b.WriteString("A w0 12 t0 0\n") // w0 = NOT r0: the free-running toggle
+	for i := 1; i < regs; i++ {
+		fmt.Fprintf(&b, "A w%d 10 %s t%d\n", i, sig(depth, i), (i+regs-1)%regs)
+	}
+	b.WriteString("M r0 0 w0 1 -1 1\n")
+	for i := 1; i < regs; i++ {
+		fmt.Fprintf(&b, "M r%d 0 w%d 1 1\n", i, i)
+	}
+	b.WriteString("A inc 4 cnt 1\nM cnt 0 inc.0.7 1 1\n.\n")
+	return b.String()
+}
+
 // BCDValue reads a BCD counter machine's current value.
 func BCDValue(m interface{ Value(string) int64 }, digits int) int64 {
 	var v, scale int64 = 0, 1

@@ -1,0 +1,143 @@
+package sim_test
+
+// Differential fuzzing of the three execution paths. The bit-parallel
+// kernels' correctness argument is a static classification proof
+// (internal/compile/bitparallel.go); this harness is its adversary: it
+// generates random-but-valid specifications, runs the scalar fused
+// path, the plain lane-loop gang, and the bit-parallel gang over
+// divergent per-lane budgets, and fails on any difference in
+// architectural hash, statistics, cycle count or runtime error. Every
+// gang here retires lanes out of step, so compaction is fuzzed for
+// free. `go test -fuzz=FuzzGangEquivalence` explores; the committed
+// corpus under testdata/fuzz/ pins the interesting shapes as ordinary
+// regression tests.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machines"
+	"repro/internal/specgen"
+)
+
+// fuzzBudgets spreads per-lane cycle budgets around base so lanes
+// retire at different times; deterministic in (base, lanes).
+func fuzzBudgets(base int64, lanes int) []int64 {
+	budgets := make([]int64, lanes)
+	for l := range budgets {
+		budgets[l] = (base*int64(l+1))/int64(lanes) + int64(l%3)
+	}
+	return budgets
+}
+
+// laneOutcome is one lane's observable result on any path.
+type laneOutcome struct {
+	hash   uint64
+	cycles int64
+	stats  core.Stats
+	errstr string
+}
+
+func gangOutcomes(t *testing.T, p *core.Program, budgets []int64, chunk int64) []laneOutcome {
+	t.Helper()
+	g, ok := p.NewGang(len(budgets))
+	if !ok {
+		t.Fatalf("%s: program not gang-capable", p.Backend())
+	}
+	g.Reset(budgets)
+	for g.Step(chunk) {
+	}
+	out := make([]laneOutcome, len(budgets))
+	for l := range budgets {
+		var errstr string
+		if err := g.LaneErr(l); err != nil {
+			errstr = err.Error()
+		}
+		out[l] = laneOutcome{hash: g.LaneArchHash(l), cycles: g.LaneCycle(l), stats: g.LaneStats(l), errstr: errstr}
+	}
+	return out
+}
+
+func FuzzGangEquivalence(f *testing.F) {
+	// seed drives the generator; combs/mems bound the spec; cycles sets
+	// the budget scale; shape selects the source (every 5th shape fuzzes
+	// the bit-mix fabric's parameter space, which always takes the
+	// bit-parallel path; the rest run specgen specs, which exercise
+	// faults and the profitability gate's off position).
+	f.Add(int64(1), int64(8), int64(2), int64(200), int64(1))
+	f.Add(int64(7), int64(15), int64(4), int64(96), int64(2))
+	f.Add(int64(42), int64(3), int64(1), int64(300), int64(3))
+	f.Add(int64(3), int64(0), int64(0), int64(250), int64(0)) // bit-mix shape
+	f.Add(int64(11), int64(0), int64(0), int64(64), int64(5)) // bit-mix shape
+	f.Fuzz(func(t *testing.T, seed, combs, mems, cycles, shape int64) {
+		norm := func(v, lo, span int64) int64 {
+			if v < 0 {
+				v = -(v + 1)
+			}
+			return lo + v%span
+		}
+		var src string
+		if norm(shape, 0, 5) == 0 {
+			src = machines.BitMixSpec(int(norm(seed, 2, 7)), int(norm(seed, 1, 9)))
+		} else {
+			rng := rand.New(rand.NewSource(seed))
+			src = specgen.Generate(rng, specgen.Config{
+				Combs: int(norm(combs, 1, 16)),
+				Mems:  int(norm(mems, 1, 4)),
+			})
+		}
+		spec, err := core.ParseString("fuzz", src)
+		if err != nil {
+			t.Fatalf("generated spec failed to parse: %v\n%s", err, src)
+		}
+		bit, err := core.Compile(spec, core.Compiled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := core.Compile(spec, core.CompiledNoBitpar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		budgets := fuzzBudgets(norm(cycles, 1, 400), 6)
+
+		// Scalar reference per budget, then both gang paths in odd
+		// chunks so lanes retire mid-chunk.
+		want := make([]laneOutcome, len(budgets))
+		for l, budget := range budgets {
+			s := scalarRun(t, bit, budget)
+			want[l] = laneOutcome{hash: s.hash, cycles: s.cycles, stats: s.stats, errstr: s.errstr}
+		}
+		for _, path := range []struct {
+			name string
+			prog *core.Program
+		}{{"gang", plain}, {"bitgang", bit}} {
+			got := gangOutcomes(t, path.prog, budgets, 7)
+			for l := range budgets {
+				if !reflect.DeepEqual(got[l], want[l]) {
+					t.Errorf("%s lane %d (budget %d): %+v, scalar has %+v\nspec:\n%s",
+						path.name, l, budgets[l], got[l], want[l], src)
+				}
+			}
+		}
+	})
+}
+
+// TestFuzzBudgetsSpread pins the budget shape the fuzz target relies
+// on: budgets must differ across lanes (otherwise nothing retires
+// early and compaction never runs under the fuzzer).
+func TestFuzzBudgetsSpread(t *testing.T) {
+	b := fuzzBudgets(300, 6)
+	seen := map[int64]bool{}
+	for _, v := range b {
+		seen[v] = true
+	}
+	if len(seen) < 4 {
+		t.Fatalf("budgets %v: want at least 4 distinct values", b)
+	}
+	if fmt.Sprint(b) != fmt.Sprint(fuzzBudgets(300, 6)) {
+		t.Fatal("budgets not deterministic")
+	}
+}

@@ -60,6 +60,41 @@ func CanGang(e Evaluator) bool {
 	return ok
 }
 
+// BitGangStepper is an optional GangStepper capability: a backend
+// whose gang kernels keep selected 1-bit component outputs as packed
+// bit-planes — one uint64 word per 64 lanes per plane — and evaluate
+// the logic components over them one word operation per 64 lanes,
+// falling back to the lane-loop kernels per component everywhere else.
+//
+// BitPlaneSlots returns the value slot of each packed plane, in plane
+// order; an empty slice means the backend chose not to bit-parallelize
+// this program (too few eligible components) and the gang must use the
+// plain StepCycleGang path. The returned slice is immutable.
+//
+// StepCycleGangBits is StepCycleGang with the plane state threaded
+// through: planes[p*pwords+w] holds plane p's word w, and lane l's bit
+// lives at word l>>6, bit l&63. words is how many words per plane the
+// kernels must process to cover every active lane (the gang trims it
+// to the live span); bits beyond the live span may hold garbage. After
+// the call, for every active lane the plane bits and the vals vector
+// together are bit-identical to StepCycleGang's vals: a plane slot's
+// architectural value is its lane bit (0 or 1), and the gang
+// materializes bits back into vals whenever lane state is observed.
+type BitGangStepper interface {
+	GangStepper
+
+	BitPlaneSlots() []int
+	StepCycleGangBits(vals []int64, planes []uint64, addr, data, opn []int64, stride, pwords, words int, active []int, cycles []int64)
+}
+
+// CanBitGang reports whether an evaluator has bit-parallel gang
+// kernels for its program (implements BitGangStepper and elected at
+// least one bit-plane).
+func CanBitGang(e Evaluator) bool {
+	bs, ok := e.(BitGangStepper)
+	return ok && len(bs.BitPlaneSlots()) > 0
+}
+
 // GangFault carries a per-lane runtime error out of a gang kernel.
 type GangFault struct {
 	Lane int
@@ -84,21 +119,37 @@ type Gang struct {
 	eval   GangStepper
 	stride int // lane capacity; the slot-to-slot distance in vals
 
-	vals   []int64   // [slot*stride+lane]
-	arrays [][]int64 // per memory ordinal, lane-major: [lane*size+cell]
-	addr   []int64   // [mem*stride+lane]
-	data   []int64   // [mem*stride+lane]
-	opn    []int64   // [mem*stride+lane]
+	vals   []int64   // [slot*stride+slot-column], indexed by physical slot
+	arrays [][]int64 // per memory ordinal, lane-major: [phys*size+cell]
+	addr   []int64   // [mem*stride+phys]
+	data   []int64   // [mem*stride+phys]
+	opn    []int64   // [mem*stride+phys]
 
 	memSlot []int // slot of each memory, by ordinal
 	memSize []int // cells per lane of each memory, by ordinal
 
+	// Lane compaction: public lane indices are logical and stable; all
+	// per-lane storage is indexed by physical slot. Compaction swaps
+	// retired lanes' columns out of the live span so the kernels' lane
+	// loops (and the bit path's word loops) stop visiting dead slots on
+	// long-tail campaigns. phys and logOf are inverse permutations of
+	// [0, lanes).
+	phys  []int // logical lane -> physical slot
+	logOf []int // physical slot -> logical lane
+
+	// Bit-parallel state, nil/empty unless the evaluator elected planes.
+	bit        BitGangStepper
+	planeSlots []int    // slot of each plane, in plane order
+	planes     []uint64 // [plane*pwords+word]; phys slot p's bit at word p>>6, bit p&63
+	pwords     int      // words per plane: ceil(stride/64)
+	detached   []bool   // by phys slot: faulted, vals column is authoritative
+
 	lanes  int     // lanes configured by the last Reset
-	active []int   // lane indices still stepping, ascending
-	cycle  []int64 // per-lane cycle counter
-	target []int64 // per-lane halt cycle
-	stats  []Stats // per-lane statistics
-	err    []error // per-lane fault, nil while healthy
+	active []int   // physical slots still stepping, ascending
+	cycle  []int64 // per-phys-slot cycle counter
+	target []int64 // per-phys-slot halt cycle
+	stats  []Stats // per-phys-slot statistics
+	err    []error // per-phys-slot fault, nil while healthy
 }
 
 // NewGang builds a gang of up to capacity lanes for an analyzed spec,
@@ -128,6 +179,8 @@ func NewGang(info *sem.Info, eval Evaluator, capacity int) (*Gang, bool) {
 		target:  make([]int64, capacity),
 		stats:   make([]Stats, capacity),
 		err:     make([]error, capacity),
+		phys:    make([]int, capacity),
+		logOf:   make([]int, capacity),
 	}
 	for i, mem := range info.Mems {
 		g.arrays[i] = make([]int64, mem.Size*capacity)
@@ -137,6 +190,15 @@ func NewGang(info *sem.Info, eval Evaluator, capacity int) (*Gang, bool) {
 	for l := range g.stats {
 		g.stats[l] = Stats{MemOps: make([]MemOpStats, nm)}
 	}
+	if bs, ok := eval.(BitGangStepper); ok {
+		if slots := bs.BitPlaneSlots(); len(slots) > 0 {
+			g.bit = bs
+			g.planeSlots = slots
+			g.pwords = (capacity + 63) >> 6
+			g.planes = make([]uint64, len(slots)*g.pwords)
+			g.detached = make([]bool, capacity)
+		}
+	}
 	return g, true
 }
 
@@ -145,6 +207,20 @@ func (g *Gang) Capacity() int { return g.stride }
 
 // Lanes returns the number of lanes the last Reset configured.
 func (g *Gang) Lanes() int { return g.lanes }
+
+// BitParallel reports whether this gang steps through the evaluator's
+// bit-parallel kernels (BitGangStepper with at least one plane).
+func (g *Gang) BitParallel() bool { return g.bit != nil }
+
+// LiveSpan returns the extent of physical slots the kernels currently
+// visit: every active lane occupies a slot below it. Compaction shrinks
+// it as lanes retire; exposed for tests and planner telemetry.
+func (g *Gang) LiveSpan() int {
+	if len(g.active) == 0 {
+		return 0
+	}
+	return g.active[len(g.active)-1] + 1
+}
 
 // Reset configures len(targets) lanes at power-on state — the state
 // Machine.Reset produces — with lane l set to halt upon reaching cycle
@@ -175,25 +251,116 @@ func (g *Gang) Reset(targets []int64) {
 		g.cycle[l] = 0
 		g.target[l] = 0
 		g.err[l] = nil
+		g.phys[l] = l
+		g.logOf[l] = l
 		ops := g.stats[l].MemOps
 		for i := range ops {
 			ops[i] = MemOpStats{}
 		}
 		g.stats[l] = Stats{MemOps: ops}
 	}
+	if g.bit != nil {
+		for i := range g.planes {
+			g.planes[i] = 0
+		}
+		// A lane whose budget is zero retires without ever evaluating,
+		// but the word-ops still sweep its bits (they cover every slot
+		// below the live span). Detach it up front so its power-on
+		// column stays authoritative; every other lane evaluates on the
+		// first step, which makes its plane bits exact.
+		for l := range g.detached {
+			g.detached[l] = l < len(targets) && targets[l] <= 0
+		}
+	}
 	copy(g.target, targets)
 	g.refreshActive()
 }
 
-// refreshActive rebuilds the active-lane list: lanes that have neither
-// faulted nor reached their target cycle.
+// refreshActive rebuilds the active-lane list — physical slots that
+// have neither faulted nor reached their target cycle — and compacts
+// the gang when the live span has grown sparse.
 func (g *Gang) refreshActive() {
 	g.active = g.active[:0]
-	for l := 0; l < g.lanes; l++ {
-		if g.err[l] == nil && g.cycle[l] < g.target[l] {
-			g.active = append(g.active, l)
+	for p := 0; p < g.lanes; p++ {
+		if g.err[p] == nil && g.cycle[p] < g.target[p] {
+			g.active = append(g.active, p)
 		}
 	}
+	g.maybeCompact()
+}
+
+// compactMinSpan is the live span below which compaction is not worth
+// the column swaps.
+const compactMinSpan = 16
+
+// maybeCompact swaps live lanes' state columns into the low physical
+// slots when retired lanes make up at least half the live span, so
+// both the lane loops' memory traffic and the bit path's word count
+// shrink with the survivor population instead of staying pinned at the
+// high-water mark. Public lane indices are logical and unaffected;
+// results are byte-identical because a lane's whole column (values,
+// memory rows, latches, counters, statistics, plane bits) moves as one.
+func (g *Gang) maybeCompact() {
+	n := len(g.active)
+	if n == 0 {
+		return
+	}
+	span := g.active[n-1] + 1
+	if span < compactMinSpan || span < 2*n {
+		return
+	}
+	d := 0 // next candidate dead slot below n
+	for k := n - 1; k >= 0 && g.active[k] >= n; k-- {
+		for g.err[d] == nil && g.cycle[d] < g.target[d] {
+			d++
+		}
+		g.swapSlots(g.active[k], d)
+		d++
+	}
+	// Exactly the n live lanes now occupy slots [0, n).
+	g.active = g.active[:0]
+	for p := 0; p < n; p++ {
+		g.active = append(g.active, p)
+	}
+}
+
+// swapSlots exchanges two physical slots' entire per-lane state and
+// updates the logical<->physical maps.
+func (g *Gang) swapSlots(a, b int) {
+	for s := 0; s < len(g.info.Order); s++ {
+		base := s * g.stride
+		g.vals[base+a], g.vals[base+b] = g.vals[base+b], g.vals[base+a]
+	}
+	for i, size := range g.memSize {
+		arr := g.arrays[i]
+		ra, rb := arr[a*size:(a+1)*size], arr[b*size:(b+1)*size]
+		for j := range ra {
+			ra[j], rb[j] = rb[j], ra[j]
+		}
+		mb := i * g.stride
+		g.addr[mb+a], g.addr[mb+b] = g.addr[mb+b], g.addr[mb+a]
+		g.data[mb+a], g.data[mb+b] = g.data[mb+b], g.data[mb+a]
+		g.opn[mb+a], g.opn[mb+b] = g.opn[mb+b], g.opn[mb+a]
+	}
+	g.cycle[a], g.cycle[b] = g.cycle[b], g.cycle[a]
+	g.target[a], g.target[b] = g.target[b], g.target[a]
+	g.stats[a], g.stats[b] = g.stats[b], g.stats[a]
+	g.err[a], g.err[b] = g.err[b], g.err[a]
+	if g.bit != nil {
+		wa, ba := a>>6, uint(a&63)
+		wb, bb := b>>6, uint(b&63)
+		for p := range g.planeSlots {
+			pb := p * g.pwords
+			va := (g.planes[pb+wa] >> ba) & 1
+			vb := (g.planes[pb+wb] >> bb) & 1
+			g.planes[pb+wa] = g.planes[pb+wa]&^(1<<ba) | vb<<ba
+			g.planes[pb+wb] = g.planes[pb+wb]&^(1<<bb) | va<<bb
+		}
+		g.detached[a], g.detached[b] = g.detached[b], g.detached[a]
+	}
+	la, lb := g.logOf[a], g.logOf[b]
+	g.logOf[a], g.logOf[b] = lb, la
+	g.phys[la], g.phys[lb] = b, a
 }
 
 // Done reports whether every lane has halted or faulted.
@@ -231,15 +398,53 @@ func (g *Gang) run(max int64) (n int64) {
 			if gf.Lane < 0 || gf.Lane >= g.lanes || g.err[gf.Lane] != nil {
 				panic(fmt.Sprintf("sim: gang kernel reported fault for bad lane %d", gf.Lane))
 			}
+			// On the bit path the faulted slot's plane bits hold exactly
+			// the partial evaluation the scalar path would have aborted
+			// with (components before the fault are this cycle's, the
+			// rest last cycle's): materialize them into vals now and make
+			// the vals column authoritative from here on — the surviving
+			// lanes' re-run will keep rewriting the shared plane words.
+			g.detachSlot(gf.Lane)
 			g.err[gf.Lane] = gf.Err
 			g.refreshActive()
 		}
 	}()
 	for ; n < max && len(g.active) > 0; n++ {
-		g.eval.StepCycleGang(g.vals, g.addr, g.data, g.opn, g.stride, g.active, g.cycle)
+		if g.bit != nil {
+			span := g.active[len(g.active)-1] + 1
+			words := (span + 63) >> 6
+			g.bit.StepCycleGangBits(g.vals, g.planes, g.addr, g.data, g.opn, g.stride, g.pwords, words, g.active, g.cycle)
+		} else {
+			g.eval.StepCycleGang(g.vals, g.addr, g.data, g.opn, g.stride, g.active, g.cycle)
+		}
 		g.commitAdvance()
 	}
 	return n
+}
+
+// materializeSlot copies a physical slot's plane bits into its vals
+// column, so the scalar-layout observers (hashing, snapshots, value
+// reads) see the architectural values. A detached slot's vals column
+// is already authoritative and must not be overwritten.
+func (g *Gang) materializeSlot(p int) {
+	if g.bit == nil || g.detached[p] {
+		return
+	}
+	w, bit := p>>6, uint(p&63)
+	for i, slot := range g.planeSlots {
+		g.vals[slot*g.stride+p] = int64((g.planes[i*g.pwords+w] >> bit) & 1)
+	}
+}
+
+// detachSlot materializes a physical slot and pins its vals column as
+// authoritative — used when a slot's bits stop being recomputed in
+// lockstep (lane fault) or stop matching the planes (lane restore).
+func (g *Gang) detachSlot(p int) {
+	if g.bit == nil {
+		return
+	}
+	g.materializeSlot(p)
+	g.detached[p] = true
 }
 
 // commitAdvance commits every active lane's latched memory operations
@@ -303,29 +508,34 @@ func (g *Gang) commitAdvance() {
 	}
 }
 
-// failLane records a commit-phase runtime error for one lane, shaped
-// exactly like the scalar path's Fail.
+// failLane records a commit-phase runtime error for one physical slot,
+// shaped exactly like the scalar path's Fail. The cycle's evaluation
+// completed before commit began, so on the bit path the slot's plane
+// bits are exactly this cycle's combinational outputs — materialized
+// here, before the lane's state freezes.
 func (g *Gang) failLane(l int, component string, format string, args ...interface{}) {
+	g.detachSlot(l)
 	g.err[l] = &RuntimeError{Component: component, Cycle: g.cycle[l], Msg: fmt.Sprintf(format, args...)}
 }
 
-func (g *Gang) checkLane(l int) {
+// slotOf maps a public (logical) lane index to its physical slot.
+func (g *Gang) slotOf(l int) int {
 	if l < 0 || l >= g.lanes {
 		panic(fmt.Sprintf("sim: gang lane %d outside 0..%d", l, g.lanes-1))
 	}
+	return g.phys[l]
 }
 
 // LaneCycle returns the number of cycles lane l has executed.
-func (g *Gang) LaneCycle(l int) int64 { g.checkLane(l); return g.cycle[l] }
+func (g *Gang) LaneCycle(l int) int64 { return g.cycle[g.slotOf(l)] }
 
 // LaneErr returns lane l's runtime error, or nil while it is healthy.
-func (g *Gang) LaneErr(l int) error { g.checkLane(l); return g.err[l] }
+func (g *Gang) LaneErr(l int) error { return g.err[g.slotOf(l)] }
 
 // LaneStats returns lane l's execution statistics. Like Machine.Stats,
 // the returned value owns its MemOps slice.
 func (g *Gang) LaneStats(l int) Stats {
-	g.checkLane(l)
-	s := g.stats[l]
+	s := g.stats[g.slotOf(l)]
 	s.MemOps = append([]MemOpStats(nil), s.MemOps...)
 	return s
 }
@@ -333,26 +543,28 @@ func (g *Gang) LaneStats(l int) Stats {
 // LaneValue returns lane l's current output for a component, like
 // Machine.Value.
 func (g *Gang) LaneValue(l int, name string) int64 {
-	g.checkLane(l)
+	p := g.slotOf(l)
 	slot, ok := g.info.Slot[name]
 	if !ok {
 		panic(fmt.Sprintf("sim: unknown component %q", name))
 	}
-	return g.vals[slot*g.stride+l]
+	g.materializeSlot(p)
+	return g.vals[slot*g.stride+p]
 }
 
 // LaneArchHash folds lane l's architectural state into the same hash
 // Machine.ArchHash computes (shared fold, same slot/ordinal order): a
 // gang lane and a machine in identical state hash identically.
 func (g *Gang) LaneArchHash(l int) uint64 {
-	g.checkLane(l)
+	p := g.slotOf(l)
+	g.materializeSlot(p)
 	h := archHashOffset
 	for slot := 0; slot < len(g.info.Order); slot++ {
-		h = archHashWord(h, g.vals[slot*g.stride+l])
+		h = archHashWord(h, g.vals[slot*g.stride+p])
 	}
 	for i, arr := range g.arrays {
 		size := g.memSize[i]
-		for _, v := range arr[l*size : (l+1)*size] {
+		for _, v := range arr[p*size : (p+1)*size] {
 			h = archHashWord(h, v)
 		}
 	}
@@ -380,36 +592,37 @@ func (g *Gang) laneStateLen() int {
 // what lets gang lanes interoperate with the scalar warm-start and
 // state-transfer machinery.
 func (g *Gang) AppendLaneState(l int, buf []byte) []byte {
-	g.checkLane(l)
+	p := g.slotOf(l)
+	g.materializeSlot(p)
 	put := func(v int64) {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
 	}
 	put(int64(stateMagic))
 	put(int64(len(g.info.Order)))
 	for slot := 0; slot < len(g.info.Order); slot++ {
-		put(g.vals[slot*g.stride+l])
+		put(g.vals[slot*g.stride+p])
 	}
 	put(int64(len(g.arrays)))
 	for i, arr := range g.arrays {
 		size := g.memSize[i]
 		put(int64(size))
-		for _, v := range arr[l*size : (l+1)*size] {
+		for _, v := range arr[p*size : (p+1)*size] {
 			put(v)
 		}
 	}
 	nm := len(g.arrays)
 	for i := 0; i < nm; i++ {
-		put(g.addr[i*g.stride+l])
+		put(g.addr[i*g.stride+p])
 	}
 	for i := 0; i < nm; i++ {
-		put(g.data[i*g.stride+l])
+		put(g.data[i*g.stride+p])
 	}
 	for i := 0; i < nm; i++ {
-		put(g.opn[i*g.stride+l])
+		put(g.opn[i*g.stride+p])
 	}
-	put(g.cycle[l])
-	put(g.stats[l].Cycles)
-	for _, ops := range g.stats[l].MemOps {
+	put(g.cycle[p])
+	put(g.stats[p].Cycles)
+	for _, ops := range g.stats[p].MemOps {
 		put(ops.Reads)
 		put(ops.Writes)
 		put(ops.Inputs)
@@ -430,7 +643,7 @@ func (g *Gang) SaveLaneState(l int) []byte {
 // restored lane is healthy again (its fault, if any, is cleared) and
 // resumes stepping until it reaches its target cycle.
 func (g *Gang) RestoreLaneState(l int, st []byte) error {
-	g.checkLane(l)
+	p := g.slotOf(l)
 	if len(st) != g.laneStateLen() {
 		return fmt.Errorf("sim: snapshot is %d bytes, this gang's lane state is %d", len(st), g.laneStateLen())
 	}
@@ -461,28 +674,28 @@ func (g *Gang) RestoreLaneState(l int, st []byte) error {
 
 	// Shape verified; scatter everything in.
 	for slot := 0; slot < nslots; slot++ {
-		g.vals[slot*g.stride+l] = get(16 + 8*slot)
+		g.vals[slot*g.stride+p] = get(16 + 8*slot)
 	}
 	for i, arr := range g.arrays {
 		size := g.memSize[i]
 		base := arrOff[i]
-		lane := arr[l*size : (l+1)*size]
+		lane := arr[p*size : (p+1)*size]
 		for j := range lane {
 			lane[j] = get(base + 8*j)
 		}
 	}
 	nm := len(g.arrays)
 	for i := 0; i < nm; i++ {
-		g.addr[i*g.stride+l] = get(off + 8*i)
-		g.data[i*g.stride+l] = get(off + 8*(nm+i))
-		g.opn[i*g.stride+l] = get(off + 8*(2*nm+i))
+		g.addr[i*g.stride+p] = get(off + 8*i)
+		g.data[i*g.stride+p] = get(off + 8*(nm+i))
+		g.opn[i*g.stride+p] = get(off + 8*(2*nm+i))
 	}
 	off += 3 * 8 * nm
-	g.cycle[l] = get(off)
-	g.stats[l].Cycles = get(off + 8)
+	g.cycle[p] = get(off)
+	g.stats[p].Cycles = get(off + 8)
 	off += 16
-	for i := range g.stats[l].MemOps {
-		g.stats[l].MemOps[i] = MemOpStats{
+	for i := range g.stats[p].MemOps {
+		g.stats[p].MemOps[i] = MemOpStats{
 			Reads:   get(off),
 			Writes:  get(off + 8),
 			Inputs:  get(off + 16),
@@ -490,7 +703,23 @@ func (g *Gang) RestoreLaneState(l int, st []byte) error {
 		}
 		off += 32
 	}
-	g.err[l] = nil
+	// Repack the restored vals into the slot's plane bits, so the bit
+	// path's planes are authoritative again from the first step — and a
+	// fault during that step materializes back to exactly the scalar
+	// path's partial state.
+	if g.bit != nil {
+		w, bit := p>>6, uint(p&63)
+		for i, slot := range g.planeSlots {
+			pw := i*g.pwords + w
+			if g.vals[slot*g.stride+p] != 0 {
+				g.planes[pw] |= 1 << bit
+			} else {
+				g.planes[pw] &^= 1 << bit
+			}
+		}
+		g.detached[p] = false
+	}
+	g.err[p] = nil
 	g.refreshActive()
 	return nil
 }

@@ -148,7 +148,7 @@ func TestGangCapability(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		wantGang := b == core.Compiled || b == core.CompiledNoFold
+		wantGang := b == core.Compiled || b == core.CompiledNoFold || b == core.CompiledNoBitpar
 		if got := p.GangCapable(); got != wantGang {
 			t.Errorf("backend %s: GangCapable = %v, want %v", b, got, wantGang)
 		}
@@ -198,6 +198,110 @@ func TestGangNoFoldEquivalence(t *testing.T) {
 		if got := g.LaneStats(l); !reflect.DeepEqual(got, want.stats) {
 			t.Errorf("lane %d: stats %+v, scalar has %+v", l, got, want.stats)
 		}
+	}
+}
+
+// TestGangBitParallelSelection pins the bit-parallel profitability
+// gate: the 1-bit-heavy mixing fabric packs, the word-poor sieve stays
+// on the plain lane-loop path, and the nobitpar ablation backend never
+// packs.
+func TestGangBitParallelSelection(t *testing.T) {
+	bitmix, err := core.ParseString("bitmix", machines.BitMixSpec(8, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sieveSrc, err := machines.SieveSpec(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sieve, err := core.ParseString("sieve", sieveSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		spec    *core.Spec
+		backend core.Backend
+		want    bool
+	}{
+		{"bitmix/compiled", bitmix, core.Compiled, true},
+		{"bitmix/nobitpar", bitmix, core.CompiledNoBitpar, false},
+		{"bitmix/nofold", bitmix, core.CompiledNoFold, false},
+		{"sieve/compiled", sieve, core.Compiled, false},
+	}
+	for _, tc := range cases {
+		p, err := core.Compile(tc.spec, tc.backend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.BitGangCapable(); got != tc.want {
+			t.Errorf("%s: BitGangCapable = %v, want %v", tc.name, got, tc.want)
+		}
+		g, ok := p.NewGang(4)
+		if !ok {
+			t.Fatalf("%s: not gang-capable", tc.name)
+		}
+		if got := g.BitParallel(); got != tc.want {
+			t.Errorf("%s: gang BitParallel = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestGangBitMixEquivalence runs the bit-parallel kernels against the
+// scalar path on the workload built for them: mixed budgets retire
+// lanes throughout (exercising word-op evaluation over a shrinking
+// live span and compaction), and every surviving lane must match its
+// scalar reference exactly.
+func TestGangBitMixEquivalence(t *testing.T) {
+	requireGangEquivalence(t, "bitmix", machines.BitMixSpec(8, 12), mixedBudgets(512, 32))
+	requireGangEquivalence(t, "bitmix-thin", machines.BitMixSpec(3, 5), mixedBudgets(300, 7))
+}
+
+// TestGangBitLaneSnapshotInterop proves lane snapshots cross the
+// bit-parallel boundary: a scalar machine snapshot restores into a
+// bit-gang lane (whose planes must repack from the restored columns)
+// and both continuations reach identical state.
+func TestGangBitLaneSnapshotInterop(t *testing.T) {
+	spec, err := core.ParseString("bitmix", machines.BitMixSpec(8, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Compile(spec, core.Compiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const mid, end = 333, 1024
+
+	m := p.NewMachine(core.Options{})
+	if err := m.RunBatch(mid); err != nil {
+		t.Fatal(err)
+	}
+	midState := m.SaveState()
+	if err := m.RunBatch(end - mid); err != nil {
+		t.Fatal(err)
+	}
+	wantHash := m.ArchHash()
+
+	g, ok := p.NewGang(3)
+	if !ok || !g.BitParallel() {
+		t.Fatalf("bitmix gang not bit-parallel (ok=%v)", ok)
+	}
+	g.Reset([]int64{end, end, mid})
+	if err := g.RestoreLaneState(1, midState); err != nil {
+		t.Fatal(err)
+	}
+	for g.Step(17) {
+	}
+	if got := g.LaneArchHash(1); got != wantHash {
+		t.Errorf("restored lane: arch hash %016x, scalar has %016x", got, wantHash)
+	}
+	if got := g.LaneArchHash(0); got != wantHash {
+		t.Errorf("cold lane: arch hash %016x, scalar has %016x", got, wantHash)
+	}
+	// Lane 2 stopped at mid; its snapshot must be byte-identical to the
+	// machine's mid-run snapshot.
+	if !bytes.Equal(g.SaveLaneState(2), midState) {
+		t.Error("mid-run lane snapshot differs from machine snapshot")
 	}
 }
 
@@ -339,5 +443,84 @@ func TestGangFaultedLaneIsolation(t *testing.T) {
 	}
 	if !g.Done() {
 		t.Error("gang not done after all lanes halted or faulted")
+	}
+}
+
+// TestGangCompactionProperty is the lane-compaction property test:
+// lanes retire in randomized orders and cycles while the top lane
+// keeps the physical span pinned, forcing compaction mid-run; every
+// survivor's hash, statistics, cycle count and SaveLaneState bytes
+// must be indistinguishable from a scalar machine that never shared a
+// gang. Runs over both the bit-parallel and the plain lane-loop path
+// (compaction swaps plane bits in one and only columns in the other).
+func TestGangCompactionProperty(t *testing.T) {
+	sieveSrc, err := machines.SieveSpec(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := map[string]string{
+		"bitmix": machines.BitMixSpec(6, 10),
+		"sieve":  sieveSrc,
+	}
+	for name, src := range specs {
+		t.Run(name, func(t *testing.T) {
+			spec, err := core.ParseString(name, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := core.Compile(spec, core.Compiled)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scalarState := func(budget int64) ([]byte, scalarOutcome) {
+				m := p.NewMachine(core.Options{})
+				var errstr string
+				if err := m.RunBatch(budget); err != nil {
+					errstr = err.Error()
+				}
+				return m.SaveState(), scalarOutcome{hash: m.ArchHash(), cycles: m.Cycle(), stats: m.Stats(), errstr: errstr}
+			}
+			for seed := int64(0); seed < 6; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				const lanes = 48
+				budgets := make([]int64, lanes)
+				for l := range budgets {
+					budgets[l] = 1 + rng.Int63n(200) // random retire cycles/orders
+				}
+				budgets[lanes-1] = 400 // pins the span until compaction moves it
+				g, ok := p.NewGang(lanes)
+				if !ok {
+					t.Fatal("not gang-capable")
+				}
+				g.Reset(budgets)
+				compacted := false
+				prevSpan := g.LiveSpan()
+				for g.Step(1 + rng.Int63n(40)) {
+					if s := g.LiveSpan(); s < prevSpan && !g.Done() {
+						compacted = true
+					} else {
+						prevSpan = g.LiveSpan()
+					}
+				}
+				if !compacted {
+					t.Errorf("seed %d: live span never shrank below %d; compaction untested", seed, prevSpan)
+				}
+				for l, budget := range budgets {
+					wantState, want := scalarState(budget)
+					if got := g.LaneCycle(l); got != want.cycles {
+						t.Fatalf("seed %d lane %d: cycle %d, scalar has %d", seed, l, got, want.cycles)
+					}
+					if got := g.LaneArchHash(l); got != want.hash {
+						t.Fatalf("seed %d lane %d: arch hash %016x, scalar has %016x", seed, l, got, want.hash)
+					}
+					if got := g.LaneStats(l); !reflect.DeepEqual(got, want.stats) {
+						t.Fatalf("seed %d lane %d: stats %+v, scalar has %+v", seed, l, got, want.stats)
+					}
+					if !bytes.Equal(g.SaveLaneState(l), wantState) {
+						t.Fatalf("seed %d lane %d: SaveLaneState bytes differ from scalar SaveState", seed, l)
+					}
+				}
+			}
+		})
 	}
 }

@@ -8,6 +8,7 @@ package sim_test
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"repro/internal/campaign"
@@ -241,6 +242,29 @@ func TestSnapshotCycle(t *testing.T) {
 		bad[0] ^= 0xff
 		if _, err := sim.SnapshotCycle(bad); err == nil {
 			t.Error("corrupt magic accepted")
+		}
+	}
+
+	// Oversized: trailing garbage must fail the exact-length framing
+	// check, not be silently ignored (a torn concatenation of two
+	// records would otherwise read as the first).
+	st := m.SaveState()
+	if _, err := sim.SnapshotCycle(append(st, 0xde)); err == nil {
+		t.Error("snapshot with 1 trailing byte accepted")
+	}
+	if _, err := sim.SnapshotCycle(append(st, st...)); err == nil {
+		t.Error("two concatenated snapshots accepted as one")
+	}
+	// Corrupt interior counts: a slot count or memory count pointing
+	// past the buffer must error, never index out of range.
+	nvals := int(binary.LittleEndian.Uint64(st[8:]))
+	for _, off := range []int{8, 16 + 8*nvals} {
+		bad := append([]byte(nil), st...)
+		for i := 0; i < 8; i++ {
+			bad[off+i] = 0x7f
+		}
+		if _, err := sim.SnapshotCycle(bad); err == nil {
+			t.Errorf("snapshot with corrupt count at offset %d accepted", off)
 		}
 	}
 

@@ -31,10 +31,11 @@ import (
 
 // report is the slice of asimbench's JSON shape the gate reads.
 type report struct {
-	Go                string  `json:"go"`
-	FusedSpeedup      float64 `json:"fused_speedup"`
-	FleetBuildSpeedup float64 `json:"fleetbuild_speedup"`
-	GangSpeedup       float64 `json:"gang_speedup"`
+	Go                 string  `json:"go"`
+	FusedSpeedup       float64 `json:"fused_speedup"`
+	FleetBuildSpeedup  float64 `json:"fleetbuild_speedup"`
+	GangSpeedup        float64 `json:"gang_speedup"`
+	BitParallelSpeedup float64 `json:"bitparallel_speedup"`
 }
 
 // metric is one gated speedup.
@@ -48,6 +49,7 @@ func metrics(baseline, fresh report) []metric {
 		{"fused_speedup", baseline.FusedSpeedup, fresh.FusedSpeedup},
 		{"fleetbuild_speedup", baseline.FleetBuildSpeedup, fresh.FleetBuildSpeedup},
 		{"gang_speedup", baseline.GangSpeedup, fresh.GangSpeedup},
+		{"bitparallel_speedup", baseline.BitParallelSpeedup, fresh.BitParallelSpeedup},
 	}
 }
 
