@@ -59,6 +59,7 @@ const (
 	CompiledNoFold   = core.CompiledNoFold
 	CompiledNoBitpar = core.CompiledNoBitpar
 	Bytecode         = core.Bytecode
+	CompiledAOT      = core.CompiledAOT
 )
 
 // Backends lists every available backend.

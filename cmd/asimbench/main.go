@@ -28,6 +28,7 @@ import (
 	"time"
 
 	asim2 "repro"
+	"repro/internal/aot"
 	"repro/internal/campaign"
 	"repro/internal/machines"
 )
@@ -58,7 +59,15 @@ type Report struct {
 	// BitParallelSpeedup is the bit-plane gang kernels against the
 	// lane-loop gang kernels on the 1-bit-heavy bit-mix fabric — the
 	// headline for the width-specialized path.
-	BitParallelSpeedup float64  `json:"bitparallel_speedup"`
+	BitParallelSpeedup float64 `json:"bitparallel_speedup"`
+	// AOTSpeedup is compiled-aot native workers against the in-process
+	// compiled-fused path on the Figure 5.1 sieve fleet, warm (binary
+	// cached). AOTBuildSeconds is the one-time cold `go build`;
+	// AOTBreakevenCycles is the campaign length whose per-cycle savings
+	// pay for it — the empirical anchor for the dispatch threshold.
+	AOTSpeedup         float64  `json:"aot_speedup"`
+	AOTBuildSeconds    float64  `json:"aot_build_seconds"`
+	AOTBreakevenCycles int64    `json:"aot_breakeven_cycles"`
 	Results            []Result `json:"results"`
 }
 
@@ -204,11 +213,11 @@ func main() {
 	if *short {
 		gangFleet = campaign.DefaultGangSize
 	}
-	// timeFleet times one fleet through the engine at a fixed gang
-	// width, warming once untimed first: the first gang use builds the
-	// lane kernels, and every path deserves warm caches.
-	timeFleet := func(name string, prog *asim2.Program, fleet int, perRun int64, gangSize int) (Result, []campaign.Result, error) {
-		eng := campaign.Engine{Workers: 1, GangSize: gangSize}
+	// timeFleetEng times one fleet through the given engine, warming
+	// once untimed first: the first gang use builds the lane kernels,
+	// the first AOT dispatch builds the worker binary, and every path
+	// deserves warm caches.
+	timeFleetEng := func(name string, eng campaign.Engine, prog *asim2.Program, fleet int, perRun int64) (Result, []campaign.Result, error) {
 		runs := campaign.Fleet(name, prog, fleet, perRun)
 		if _, err := eng.Execute(context.Background(), runs); err != nil {
 			return Result{}, nil, err
@@ -248,6 +257,9 @@ func main() {
 					i, aName, a[i].Digest, bName, b[i].Digest)
 			}
 		}
+	}
+	timeFleet := func(name string, prog *asim2.Program, fleet int, perRun int64, gangSize int) (Result, []campaign.Result, error) {
+		return timeFleetEng(name, campaign.Engine{Workers: 1, GangSize: gangSize}, prog, fleet, perRun)
 	}
 	{
 		scalar, scalarResults, err := timeFleet("gang/scalar-fleet", sieveProg, gangFleet, perFleetRun, 1)
@@ -297,6 +309,65 @@ func main() {
 		crossCheckFleets("laneloop", laneResults, "bitplane", bitResults)
 		rep.Results = append(rep.Results, lane, bit)
 		rep.BitParallelSpeedup = lane.NsPerCycle / bit.NsPerCycle
+	}
+
+	// Ahead-of-time native workers: the same Figure 5.1 sieve fleet
+	// through the engine's in-process fused path and through
+	// compiled-aot subprocess workers, single-worker, digest
+	// cross-checked run by run. The one-time `go build` is timed
+	// separately (cold, on a fresh cache); the fleet rows measure
+	// warm steady state, and the break-even figure converts the build
+	// cost into the campaign length that amortizes it — the dispatch
+	// threshold's empirical anchor.
+	{
+		// No -short reduction here: unlike the other speedups, this
+		// ratio is scale-dependent — each dispatch pays a fixed
+		// subprocess-spawn cost (~1ms) that only amortizes over a
+		// campaign-sized cycle budget, so a shrunken fleet would
+		// measure spawn overhead, not steady-state throughput, and
+		// drift from the committed full-run baseline benchgate holds
+		// it against. ~2s of extra CI time buys a transferable number.
+		perAOTRun := int64(200_000)
+		aotFleet := 8
+		aotProg, err := asim2.Compile(sieveSpec, asim2.CompiledAOT)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cacheDir, err := os.MkdirTemp("", "asimbench-aot-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(cacheDir)
+		cache, err := aot.NewCache(cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		if _, err := cache.Binary(aotProg.AOTWorkerSource()); err != nil {
+			log.Fatalf("aot worker build: %v", err)
+		}
+		rep.AOTBuildSeconds = time.Since(t0).Seconds()
+		rep.Results = append(rep.Results, Result{Name: "aot/build", Seconds: rep.AOTBuildSeconds})
+
+		fused, fusedResults, err := timeFleet("aot/fused-fleet", sieveProg, aotFleet, perAOTRun, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		native, nativeResults, err := timeFleetEng("aot/native-fleet",
+			campaign.Engine{Workers: 1, GangSize: 1, AOT: cache, AOTThreshold: 0},
+			aotProg, aotFleet, perAOTRun)
+		if err != nil {
+			log.Fatal(err)
+		}
+		crossCheckFleets("fused", fusedResults, "native", nativeResults)
+		if cache.Fallbacks() != 0 {
+			log.Fatalf("aot fleet fell back to in-process %d times; the native row is not measuring workers", cache.Fallbacks())
+		}
+		rep.Results = append(rep.Results, fused, native)
+		rep.AOTSpeedup = fused.NsPerCycle / native.NsPerCycle
+		if delta := fused.NsPerCycle - native.NsPerCycle; delta > 0 {
+			rep.AOTBreakevenCycles = int64(rep.AOTBuildSeconds * 1e9 / delta)
+		}
 	}
 
 	// Fleet build: many short runs, where how the machine comes to
@@ -395,6 +466,8 @@ func main() {
 	fmt.Fprintf(os.Stderr, "fleet-build speedup (pooled vs per-run construction): %.2fx\n", rep.FleetBuildSpeedup)
 	fmt.Fprintf(os.Stderr, "gang speedup (gang fleet vs pooled scalar fleet): %.2fx\n", rep.GangSpeedup)
 	fmt.Fprintf(os.Stderr, "bit-parallel speedup (bit-plane vs lane-loop gang kernels): %.2fx\n", rep.BitParallelSpeedup)
+	fmt.Fprintf(os.Stderr, "aot speedup (native workers vs compiled-fused): %.2fx (build %.2fs, break-even %d cycles)\n",
+		rep.AOTSpeedup, rep.AOTBuildSeconds, rep.AOTBreakevenCycles)
 }
 
 // reps is how many timed repetitions each configuration gets; the

@@ -8,6 +8,7 @@
 //	asimd -addr :9000 -workers 8 -gang 32
 //	asimd -jobs 4 -queue 16 -max-cycles 1e9
 //	asimd -state-dir /var/lib/asimd       (durable: jobs survive restarts)
+//	asimd -aot -aot-dir /var/cache/asimd  (native workers for compiled-aot jobs)
 //
 // Post a job and stream its results:
 //
@@ -33,10 +34,12 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/aot"
 	"repro/internal/campaign"
 	"repro/internal/durable"
 	"repro/internal/service"
@@ -58,6 +61,9 @@ func main() {
 	writeTimeout := flag.Duration("write-timeout", 0, "per-line stream write deadline; a non-reading client fails after this (0 = 30s)")
 	stateDir := flag.String("state-dir", "", "durable job store directory; jobs survive restarts and dropped streams resume (empty = durability off)")
 	ckptCycles := flag.Int64("checkpoint-cycles", 0, "cycles between run state checkpoints into -state-dir (0 = default 65536)")
+	useAOT := flag.Bool("aot", false, "enable ahead-of-time native workers for compiled-aot jobs above -aot-threshold")
+	aotDir := flag.String("aot-dir", "", "worker binary cache directory (default: a per-process temp dir)")
+	aotThreshold := flag.Int64("aot-threshold", campaign.DefaultAOTThreshold, "campaign cycles x runs below which compiled-aot jobs stay in-process (0 = always use workers)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		log.Fatal("usage: asimd [flags]; asimd -h lists them")
@@ -73,8 +79,28 @@ func main() {
 		store = fs
 	}
 
+	var aotCache *aot.Cache
+	if *useAOT {
+		dir := *aotDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "asimd-aot-")
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		c, err := aot.NewCache(dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		aotCache = c
+		log.Printf("asimd: aot worker cache at %s (threshold %d cycles)", dir, *aotThreshold)
+	}
+
 	srv := service.New(service.Config{
-		Engine:           campaign.Engine{Workers: *workers, Chunk: *chunk, GangSize: *gang, Planner: &campaign.Planner{}},
+		Engine: campaign.Engine{Workers: *workers, Chunk: *chunk, GangSize: *gang, Planner: &campaign.Planner{},
+			AOT: aotCache, AOTThreshold: *aotThreshold},
 		MaxConcurrent:    *jobs,
 		MaxQueue:         *queue,
 		MaxRuns:          *maxRuns,

@@ -9,6 +9,7 @@
 //	asimsweep -workers 8 -n 32 sieve-fleet randspec-sweep
 //	asimsweep -gang 64 -n 256 sieve-fleet
 //	asimsweep -json tiny-divide-faults
+//	asimsweep -aot -aot-threshold 0 -backend compiled-aot sieve-fleet
 //
 // With no scenario arguments every registered scenario runs. The
 // -json form emits one object per scenario, suitable for appending to
@@ -25,6 +26,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/aot"
 	"repro/internal/campaign"
 	"repro/internal/core"
 )
@@ -58,6 +60,9 @@ func main() {
 	seed := flag.Int64("seed", 0, "base seed for generated specifications")
 	size := flag.Int("size", 0, "machine size parameter (0 = scenario default)")
 	timeout := flag.Duration("timeout", 0, "overall campaign deadline (0 = none)")
+	useAOT := flag.Bool("aot", false, "enable ahead-of-time native workers for compiled-aot runs above -aot-threshold")
+	aotDir := flag.String("aot-dir", "", "worker binary cache directory (default: a per-process temp dir)")
+	aotThreshold := flag.Int64("aot-threshold", campaign.DefaultAOTThreshold, "campaign cycles x runs below which compiled-aot runs stay in-process (0 = always use workers)")
 	flag.Parse()
 
 	if *list {
@@ -80,6 +85,24 @@ func main() {
 		Size:    *size,
 	}
 	eng := campaign.Engine{Workers: *workers, GangSize: *gang, Planner: &campaign.Planner{}}
+	cleanup := func() {}
+	if *useAOT {
+		dir := *aotDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "asimsweep-aot-")
+			if err != nil {
+				log.Fatal(err)
+			}
+			cleanup = func() { os.RemoveAll(tmp) }
+			dir = tmp
+		}
+		cache, err := aot.NewCache(dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng.AOT = cache
+		eng.AOTThreshold = *aotThreshold
+	}
 	effective := eng.Workers
 	if effective <= 0 {
 		effective = runtime.GOMAXPROCS(0)
@@ -153,5 +176,6 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	cleanup()
 	os.Exit(exit)
 }

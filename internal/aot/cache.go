@@ -1,0 +1,295 @@
+package aot
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultMaxEntries bounds the on-disk binary cache. Worker binaries
+// are ~2 MiB each; 64 of them is a modest, self-limiting footprint for
+// a long-lived daemon serving a rotating spec population.
+const DefaultMaxEntries = 64
+
+// workerName is the binary's file name inside its content-addressed
+// entry directory.
+const workerName = "worker"
+
+// Cache is the on-disk sibling of core.ProgramCache: a
+// content-addressed store of compiled worker binaries keyed by the
+// SHA-256 of their generated source. The key covers everything that
+// shapes the binary — spec, generator version, generation options —
+// so a generator change is an automatic cache miss, never a stale hit.
+//
+// Builds for the same key coalesce through a per-entry sync.Once,
+// mirroring ProgramCache: N concurrent campaigns over one spec cost
+// one `go build`. Build failures are remembered in memory only, so a
+// toolchain that appears later (or a transient failure) is retried in
+// a fresh process rather than poisoning the on-disk cache.
+type Cache struct {
+	dir string
+
+	// GoTool overrides the `go` tool name/path (tests point it at a
+	// nonexistent binary to exercise toolchain-absent fallback). Empty
+	// means "go" from $PATH.
+	GoTool string
+
+	// MaxEntries bounds the number of cached binaries; the least
+	// recently used (by binary mtime, touched on every hit) are evicted
+	// once the bound is exceeded. <= 0 means DefaultMaxEntries.
+	MaxEntries int
+
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+
+	builds      atomic.Int64
+	hits        atomic.Int64
+	buildErrors atomic.Int64
+	evictions   atomic.Int64
+	fallbacks   atomic.Int64
+
+	logged sync.Map // fallback reason -> struct{}, logged once each
+}
+
+type cacheEntry struct {
+	once sync.Once
+	bin  string
+	err  error
+}
+
+// NewCache opens (creating if needed) an on-disk worker binary cache
+// rooted at dir, sweeping any orphaned temp build directories a
+// previous crashed process left behind.
+func NewCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("aot: cache dir: %w", err)
+	}
+	c := &Cache{dir: dir, entries: map[string]*cacheEntry{}}
+	c.sweepOrphans()
+	return c, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// sweepOrphans removes tmp-* build directories from interrupted
+// builds. Only ever called while no builds are in flight (NewCache).
+func (c *Cache) sweepOrphans() {
+	ents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "tmp-") {
+			os.RemoveAll(filepath.Join(c.dir, e.Name()))
+		}
+	}
+}
+
+// Key returns the cache key for a generated worker source: the hex
+// SHA-256 of the source text.
+func Key(src string) string {
+	sum := sha256.Sum256([]byte(src))
+	return hex.EncodeToString(sum[:])
+}
+
+// validKey guards every key-derived filesystem path against traversal,
+// mirroring durable's job-id validation: bounded length, a closed
+// character set, and no leading dot.
+func validKey(key string) error {
+	if key == "" || len(key) > 128 {
+		return fmt.Errorf("aot: invalid cache key %q", key)
+	}
+	for _, r := range key {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return fmt.Errorf("aot: invalid cache key %q", key)
+		}
+	}
+	if strings.HasPrefix(key, ".") {
+		return fmt.Errorf("aot: invalid cache key %q", key)
+	}
+	return nil
+}
+
+// Binary returns the path of the compiled worker binary for the given
+// generated source, building it if neither this process nor the disk
+// cache has it yet. Concurrent callers for the same source share one
+// build. Build errors are returned (and counted) but only cached for
+// the lifetime of this process.
+func (c *Cache) Binary(src string) (string, error) {
+	key := Key(src)
+	c.mu.Lock()
+	e := c.entries[key]
+	if e == nil {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.bin, e.err = c.build(key, src) })
+	if e.err == nil {
+		now := time.Now()
+		os.Chtimes(e.bin, now, now) // LRU touch
+	}
+	return e.bin, e.err
+}
+
+// Invalidate drops a cache entry both in memory and on disk, so the
+// next Binary call for that source rebuilds from scratch. The campaign
+// engine calls it when a cached binary turns out to be poisoned (e.g.
+// truncated by a torn copy): rebuild once, don't crash.
+func (c *Cache) Invalidate(key string) {
+	if err := validKey(key); err != nil {
+		return
+	}
+	c.mu.Lock()
+	delete(c.entries, key)
+	c.mu.Unlock()
+	os.RemoveAll(filepath.Join(c.dir, key))
+}
+
+func (c *Cache) build(key, src string) (string, error) {
+	if err := validKey(key); err != nil {
+		return "", err
+	}
+	final := filepath.Join(c.dir, key, workerName)
+	if fi, err := os.Stat(final); err == nil && fi.Mode().IsRegular() && fi.Size() > 0 {
+		c.hits.Add(1)
+		return final, nil
+	}
+
+	goTool := c.GoTool
+	if goTool == "" {
+		goTool = "go"
+	}
+	if _, err := exec.LookPath(goTool); err != nil {
+		c.buildErrors.Add(1)
+		return "", fmt.Errorf("aot: go toolchain unavailable: %w", err)
+	}
+
+	tmp, err := os.MkdirTemp(c.dir, "tmp-")
+	if err != nil {
+		c.buildErrors.Add(1)
+		return "", fmt.Errorf("aot: build dir: %w", err)
+	}
+	defer os.RemoveAll(tmp)
+	if err := os.WriteFile(filepath.Join(tmp, "main.go"), []byte(src), 0o644); err != nil {
+		c.buildErrors.Add(1)
+		return "", fmt.Errorf("aot: write source: %w", err)
+	}
+	// The worker is stdlib-only; a private module keeps the build
+	// hermetic (no network, no interference from the host module).
+	mod := "module asimworker\n\ngo 1.24\n"
+	if err := os.WriteFile(filepath.Join(tmp, "go.mod"), []byte(mod), 0o644); err != nil {
+		c.buildErrors.Add(1)
+		return "", fmt.Errorf("aot: write go.mod: %w", err)
+	}
+	cmd := exec.Command(goTool, "build", "-o", workerName, ".")
+	cmd.Dir = tmp
+	cmd.Env = append(os.Environ(), "GOFLAGS=", "GOWORK=off")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		c.buildErrors.Add(1)
+		return "", fmt.Errorf("aot: go build: %v\n%s", err, out)
+	}
+
+	if err := os.MkdirAll(filepath.Join(c.dir, key), 0o755); err != nil {
+		c.buildErrors.Add(1)
+		return "", fmt.Errorf("aot: cache entry dir: %w", err)
+	}
+	if err := os.Rename(filepath.Join(tmp, workerName), final); err != nil {
+		// A concurrent process may have won the race; their binary is
+		// as good as ours.
+		if fi, serr := os.Stat(final); serr != nil || !fi.Mode().IsRegular() {
+			c.buildErrors.Add(1)
+			return "", fmt.Errorf("aot: install binary: %w", err)
+		}
+	}
+	c.builds.Add(1)
+	c.evict(key)
+	return final, nil
+}
+
+// evict enforces MaxEntries, removing the least recently used entries
+// (binary mtime; Binary touches on every hit). The entry just written
+// is never the victim.
+func (c *Cache) evict(justAdded string) {
+	max := c.MaxEntries
+	if max <= 0 {
+		max = DefaultMaxEntries
+	}
+	ents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	type aged struct {
+		key string
+		at  time.Time
+	}
+	var all []aged
+	for _, e := range ents {
+		if !e.IsDir() || strings.HasPrefix(e.Name(), "tmp-") || e.Name() == justAdded {
+			continue
+		}
+		fi, err := os.Stat(filepath.Join(c.dir, e.Name(), workerName))
+		if err != nil {
+			continue
+		}
+		all = append(all, aged{e.Name(), fi.ModTime()})
+	}
+	excess := len(all) + 1 - max // +1 for justAdded
+	if excess <= 0 {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].at.Before(all[j].at) })
+	for i := 0; i < excess && i < len(all); i++ {
+		c.Invalidate(all[i].key)
+		c.evictions.Add(1)
+	}
+}
+
+// NoteFallback records one dispatch that degraded from the AOT path to
+// an in-process backend, logging each distinct reason once so a silent
+// fallback (say, a deploy image without the toolchain) is visible
+// without flooding the log.
+func (c *Cache) NoteFallback(reason string) {
+	c.fallbacks.Add(1)
+	if reason == "" {
+		reason = "unknown"
+	}
+	if i := strings.IndexByte(reason, '\n'); i >= 0 {
+		reason = reason[:i]
+	}
+	if len(reason) > 200 {
+		reason = reason[:200]
+	}
+	if _, seen := c.logged.LoadOrStore(reason, struct{}{}); !seen {
+		log.Printf("aot: falling back to in-process backend: %s", reason)
+	}
+}
+
+// Builds returns the number of binaries compiled by this process.
+func (c *Cache) Builds() int64 { return c.builds.Load() }
+
+// Hits returns the number of requests satisfied from the disk cache.
+func (c *Cache) Hits() int64 { return c.hits.Load() }
+
+// BuildErrors returns the number of failed build attempts.
+func (c *Cache) BuildErrors() int64 { return c.buildErrors.Load() }
+
+// Evictions returns the number of entries evicted by the LRU bound.
+func (c *Cache) Evictions() int64 { return c.evictions.Load() }
+
+// Fallbacks returns the number of dispatches that degraded to an
+// in-process backend.
+func (c *Cache) Fallbacks() int64 { return c.fallbacks.Load() }

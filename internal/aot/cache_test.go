@@ -1,0 +1,313 @@
+package aot
+
+import (
+	"bytes"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Tiny compilable sources stand in for generated workers: the cache is
+// agnostic to what the program does, it only builds and stores.
+const trivialSrc = "package main\n\nfunc main() {}\n"
+
+// stdinSrc blocks until stdin closes, like a real protocol worker.
+const stdinSrc = `package main
+
+import (
+	"io"
+	"os"
+)
+
+func main() { io.Copy(io.Discard, os.Stdin) }
+`
+
+func variantSrc(tag string) string {
+	return "package main\n\n// " + tag + "\nfunc main() {}\n"
+}
+
+func TestValidKey(t *testing.T) {
+	for _, ok := range []string{"abc", "a-b_c.d", Key(trivialSrc)} {
+		if err := validKey(ok); err != nil {
+			t.Errorf("validKey(%q) = %v, want nil", ok, err)
+		}
+	}
+	bad := []string{"", ".hidden", "../escape", "a/b", "a\\b", "a b",
+		strings.Repeat("x", 129)}
+	for _, k := range bad {
+		if validKey(k) == nil {
+			t.Errorf("validKey(%q) accepted a hostile key", k)
+		}
+	}
+}
+
+// TestInvalidateRejectsTraversal: a hostile key must not delete
+// anything outside the cache directory.
+func TestInvalidateRejectsTraversal(t *testing.T) {
+	root := t.TempDir()
+	outside := filepath.Join(root, "precious")
+	if err := os.WriteFile(outside, []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCache(filepath.Join(root, "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Invalidate("../precious")
+	c.Invalidate("..")
+	if _, err := os.Stat(outside); err != nil {
+		t.Fatalf("file outside the cache was deleted: %v", err)
+	}
+}
+
+// TestSweepOrphans: NewCache removes tmp-* build leftovers and keeps
+// real entries.
+func TestSweepOrphans(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "tmp-orphan"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	keep := filepath.Join(dir, "deadbeef")
+	if err := os.MkdirAll(keep, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "tmp-orphan")); !os.IsNotExist(err) {
+		t.Error("orphan temp dir survived the startup sweep")
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Error("real cache entry was swept")
+	}
+}
+
+// TestBuildCoalescing: concurrent Binary calls for one source share a
+// single go build.
+func TestBuildCoalescing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles with the go toolchain")
+	}
+	c, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	paths := make([]string, 8)
+	for i := range paths {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := c.Binary(trivialSrc)
+			if err != nil {
+				t.Errorf("Binary: %v", err)
+			}
+			paths[i] = p
+		}(i)
+	}
+	wg.Wait()
+	for _, p := range paths[1:] {
+		if p != paths[0] {
+			t.Fatalf("concurrent builds returned different paths: %q vs %q", p, paths[0])
+		}
+	}
+	if got := c.Builds(); got != 1 {
+		t.Errorf("Builds() = %d, want 1 (coalesced)", got)
+	}
+}
+
+// TestDiskHit: a fresh Cache over the same directory reuses the binary
+// without rebuilding.
+func TestDiskHit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles with the go toolchain")
+	}
+	dir := t.TempDir()
+	c1, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Binary(trivialSrc); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Binary(trivialSrc); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Builds() != 0 || c2.Hits() != 1 {
+		t.Errorf("second process: builds=%d hits=%d, want 0/1", c2.Builds(), c2.Hits())
+	}
+}
+
+// TestLRUEviction: MaxEntries bounds the store; the least recently
+// used binary is the victim and the rest survive.
+func TestLRUEviction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles with the go toolchain")
+	}
+	dir := t.TempDir()
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MaxEntries = 2
+	srcs := []string{variantSrc("a"), variantSrc("b"), variantSrc("c")}
+	// Build a then b, pushing their mtimes apart so LRU order is
+	// unambiguous regardless of filesystem timestamp resolution.
+	for i, src := range srcs[:2] {
+		bin, err := c.Binary(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at := time.Now().Add(time.Duration(i-10) * time.Hour)
+		if err := os.Chtimes(bin, at, at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Binary(srcs[2]); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Evictions(); got != 1 {
+		t.Fatalf("Evictions() = %d, want 1", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, Key(srcs[0]), workerName)); !os.IsNotExist(err) {
+		t.Error("least recently used entry survived eviction")
+	}
+	for _, src := range srcs[1:] {
+		if _, err := os.Stat(filepath.Join(dir, Key(src), workerName)); err != nil {
+			t.Errorf("entry %s evicted, want kept: %v", Key(src)[:8], err)
+		}
+	}
+}
+
+// TestPoisonedBinaryRebuild: a corrupted cached binary fails to start;
+// Invalidate plus Binary rebuilds a working one instead of crashing or
+// serving the poison forever.
+func TestPoisonedBinaryRebuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles with the go toolchain")
+	}
+	dir := t.TempDir()
+	c1, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := c1.Binary(stdinSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bin, []byte("this is not a binary"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh process sees the poisoned file as a disk hit...
+	c2, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err = c2.Binary(stdinSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StartProc(bin); err == nil {
+		t.Fatal("poisoned binary started; want exec failure")
+	}
+	// ...and the engine's recovery protocol rebuilds it.
+	c2.Invalidate(Key(stdinSrc))
+	bin, err = c2.Binary(stdinSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Builds() != 1 {
+		t.Errorf("rebuild after invalidation: builds=%d, want 1", c2.Builds())
+	}
+	p, err := StartProc(bin)
+	if err != nil {
+		t.Fatalf("rebuilt binary fails to start: %v", err)
+	}
+	p.Close()
+}
+
+// TestToolchainAbsent: a missing go tool is a counted, cached error —
+// one probe per source per process, never a crash.
+func TestToolchainAbsent(t *testing.T) {
+	c, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.GoTool = "/nonexistent/go-toolchain"
+	if _, err := c.Binary(trivialSrc); err == nil || !strings.Contains(err.Error(), "toolchain unavailable") {
+		t.Fatalf("Binary with absent toolchain: %v", err)
+	}
+	if _, err := c.Binary(trivialSrc); err == nil {
+		t.Fatal("second Binary call succeeded without a toolchain")
+	}
+	if got := c.BuildErrors(); got != 1 {
+		t.Errorf("BuildErrors() = %d, want 1 (error cached per entry)", got)
+	}
+}
+
+// TestBuildErrorNotPersisted: source that fails to compile reports the
+// compiler output, and nothing is written to the on-disk store.
+func TestBuildErrorNotPersisted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles with the go toolchain")
+	}
+	dir := t.TempDir()
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := "package main\n\nfunc main() { undefined() }\n"
+	if _, err := c.Binary(bad); err == nil {
+		t.Fatal("broken source built successfully")
+	}
+	if c.BuildErrors() != 1 {
+		t.Errorf("BuildErrors() = %d, want 1", c.BuildErrors())
+	}
+	if _, err := os.Stat(filepath.Join(dir, Key(bad))); !os.IsNotExist(err) {
+		t.Error("failed build left an on-disk cache entry")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "tmp-") {
+			t.Errorf("failed build leaked temp dir %s", e.Name())
+		}
+	}
+}
+
+// TestNoteFallbackLogsOnce: every fallback is counted but each
+// distinct reason is logged exactly once.
+func TestNoteFallbackLogsOnce(t *testing.T) {
+	c, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	prev := log.Writer()
+	log.SetOutput(&buf)
+	defer log.SetOutput(prev)
+	c.NoteFallback("toolchain missing")
+	c.NoteFallback("toolchain missing")
+	c.NoteFallback("worker crashed\nstack trace follows")
+	if got := c.Fallbacks(); got != 3 {
+		t.Errorf("Fallbacks() = %d, want 3", got)
+	}
+	out := buf.String()
+	if got := strings.Count(out, "toolchain missing"); got != 1 {
+		t.Errorf("reason logged %d times, want once:\n%s", got, out)
+	}
+	if strings.Contains(out, "stack trace") {
+		t.Errorf("multi-line reason not truncated to its first line:\n%s", out)
+	}
+}

@@ -1,0 +1,264 @@
+package aot
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os/exec"
+	"time"
+)
+
+// Size sanity bounds on worker-reported frames. A worker is generated
+// code, but a poisoned binary could be anything; bounded reads keep a
+// confused process from wedging the host.
+const (
+	maxStateLen = 1 << 30
+	maxStrLen   = 1 << 20
+	maxMems     = 1 << 20
+)
+
+// Proc is one live worker subprocess. It is single-threaded from the
+// host's point of view: one Run at a time, jobs pipelined over a
+// persistent process so a campaign pays process start-up once per
+// worker goroutine, not once per span.
+type Proc struct {
+	cmd    *exec.Cmd
+	stdin  io.WriteCloser
+	out    *bufio.Reader
+	wbuf   bytes.Buffer
+	stderr bytes.Buffer
+}
+
+// StartProc launches a compiled worker binary. The process idles until
+// its first job frame and exits cleanly on stdin EOF.
+func StartProc(bin string) (*Proc, error) {
+	p := &Proc{cmd: exec.Command(bin)}
+	stdin, err := p.cmd.StdinPipe()
+	if err != nil {
+		return nil, fmt.Errorf("aot: stdin pipe: %w", err)
+	}
+	stdout, err := p.cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("aot: stdout pipe: %w", err)
+	}
+	p.stdin = stdin
+	p.out = bufio.NewReaderSize(stdout, 1<<16)
+	p.cmd.Stderr = &p.stderr
+	if err := p.cmd.Start(); err != nil {
+		return nil, fmt.Errorf("aot: start worker: %w", err)
+	}
+	return p, nil
+}
+
+// Close shuts the worker down: EOF on stdin asks for a clean exit, and
+// a stuck process is killed after a grace period.
+func (p *Proc) Close() error {
+	p.stdin.Close()
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(5 * time.Second):
+		p.cmd.Process.Kill()
+		return <-done
+	}
+}
+
+// Run executes one job on the worker and returns the per-run results
+// in run order. onCheckpoint, when non-nil, is invoked synchronously
+// for every checkpoint frame. If ctx is cancelled mid-job the process
+// is killed and Run returns the completed prefix of results together
+// with ctx's error; any protocol or process failure likewise returns
+// the completed prefix and an error, and in both cases the Proc must
+// not be reused.
+func (p *Proc) Run(ctx context.Context, job Job, onCheckpoint func(run int, cycle int64, state []byte)) ([]RunResult, error) {
+	// Frame the job into one buffered write.
+	p.wbuf.Reset()
+	wu32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		p.wbuf.Write(b[:])
+	}
+	wu64 := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		p.wbuf.Write(b[:])
+	}
+	wu32(JobMagic)
+	var flags uint32
+	if job.WantState {
+		flags |= FlagWantState
+	}
+	wu32(flags)
+	every := job.CheckpointEvery
+	if every < 0 {
+		every = 0
+	}
+	wu64(uint64(every))
+	wu32(uint32(len(job.Targets)))
+	for _, t := range job.Targets {
+		wu64(uint64(t))
+	}
+
+	// Kill the worker the moment the context dies so blocked reads
+	// unwind; reads then surface ctx.Err() to the caller.
+	stop := context.AfterFunc(ctx, func() { p.cmd.Process.Kill() })
+	defer stop()
+
+	if _, err := p.stdin.Write(p.wbuf.Bytes()); err != nil {
+		return nil, p.fail(ctx, fmt.Errorf("aot: write job: %w", err))
+	}
+
+	results := make([]RunResult, 0, len(job.Targets))
+	for {
+		kind, err := p.ru32()
+		if err != nil {
+			return results, p.fail(ctx, fmt.Errorf("aot: read frame: %w", err))
+		}
+		switch kind {
+		case EndMagic:
+			if len(results) != len(job.Targets) {
+				return results, p.fail(ctx, fmt.Errorf("aot: job ended after %d of %d runs", len(results), len(job.Targets)))
+			}
+			return results, nil
+		case CheckpointMagic:
+			run, err := p.ru32()
+			if err != nil {
+				return results, p.fail(ctx, err)
+			}
+			cycle, err := p.ru64()
+			if err != nil {
+				return results, p.fail(ctx, err)
+			}
+			st, err := p.rbytes(maxStateLen)
+			if err != nil {
+				return results, p.fail(ctx, err)
+			}
+			if onCheckpoint != nil {
+				onCheckpoint(int(run), int64(cycle), st)
+			}
+		case RunMagic:
+			rr, err := p.readRun()
+			if err != nil {
+				return results, p.fail(ctx, err)
+			}
+			results = append(results, rr)
+		default:
+			return results, p.fail(ctx, fmt.Errorf("aot: unexpected frame %#x", kind))
+		}
+	}
+}
+
+// fail maps a protocol error to ctx.Err() when the context caused it,
+// attaching the worker's stderr otherwise.
+func (p *Proc) fail(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	if s := bytes.TrimSpace(p.stderr.Bytes()); len(s) > 0 {
+		return fmt.Errorf("%w; worker stderr: %s", err, s)
+	}
+	return err
+}
+
+func (p *Proc) readRun() (RunResult, error) {
+	var rr RunResult
+	if _, err := p.ru32(); err != nil { // run index; results are ordered
+		return rr, err
+	}
+	cyc, err := p.ru64()
+	if err != nil {
+		return rr, err
+	}
+	rr.Cycles = int64(cyc)
+	if rr.Hash, err = p.ru64(); err != nil {
+		return rr, err
+	}
+	sc, err := p.ru64()
+	if err != nil {
+		return rr, err
+	}
+	rr.StatCycles = int64(sc)
+	nm, err := p.ru32()
+	if err != nil {
+		return rr, err
+	}
+	if nm > maxMems {
+		return rr, fmt.Errorf("aot: worker reports %d memories", nm)
+	}
+	rr.MemOps = make([][4]int64, nm)
+	for i := range rr.MemOps {
+		for j := 0; j < 4; j++ {
+			v, err := p.ru64()
+			if err != nil {
+				return rr, err
+			}
+			rr.MemOps[i][j] = int64(v)
+		}
+	}
+	errFlag, err := p.ru32()
+	if err != nil {
+		return rr, err
+	}
+	if errFlag != 0 {
+		ec, err := p.ru64()
+		if err != nil {
+			return rr, err
+		}
+		comp, err := p.rbytes(maxStrLen)
+		if err != nil {
+			return rr, err
+		}
+		msg, err := p.rbytes(maxStrLen)
+		if err != nil {
+			return rr, err
+		}
+		rr.Err = &RunError{Component: string(comp), Cycle: int64(ec), Msg: string(msg)}
+	}
+	st, err := p.rbytes(maxStateLen)
+	if err != nil {
+		return rr, err
+	}
+	if len(st) > 0 {
+		rr.State = st
+	}
+	return rr, nil
+}
+
+func (p *Proc) ru32() (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(p.out, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func (p *Proc) ru64() (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(p.out, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+func (p *Proc) rbytes(max uint32) ([]byte, error) {
+	n, err := p.ru32()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n > max {
+		return nil, fmt.Errorf("aot: frame field of %d bytes exceeds bound %d", n, max)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(p.out, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

@@ -1,0 +1,80 @@
+// Package aot builds and runs ahead-of-time compiled native simulator
+// workers: specialized Go programs emitted by internal/codegen/gogen
+// in worker mode, compiled once with the host toolchain, cached on
+// disk by source digest, and driven over a framed binary job protocol
+// on stdin/stdout. It is the process-level half of the compiled-aot
+// backend; internal/campaign decides when dispatching to a worker
+// amortizes the one-time build cost.
+//
+// The package depends only on the standard library so the generator,
+// the campaign engine and the tools can all share the one protocol
+// definition without import cycles.
+package aot
+
+// Wire protocol, version 1. All integers are little-endian. The host
+// writes job frames; the worker answers each job with zero or more
+// checkpoint frames, exactly one run frame per requested run (in run
+// order), and a terminating end frame. EOF on the worker's stdin is
+// the clean shutdown signal.
+//
+//	job:        u32 JobMagic, u32 flags, u64 checkpointEvery,
+//	            u32 nruns, nruns × u64 cycle targets
+//	checkpoint: u32 CheckpointMagic, u32 run, u64 cycle,
+//	            u32 len, len bytes (Machine.SaveState-compatible)
+//	run:        u32 RunMagic, u32 run, u64 cycles, u64 archHash,
+//	            u64 statsCycles, u32 nmems,
+//	            nmems × (u64 reads, u64 writes, u64 inputs, u64 outputs),
+//	            u32 errFlag; if 1: u64 errCycle, u32+bytes component,
+//	            u32+bytes message;
+//	            u32 stateLen, stateLen bytes (0 unless requested and clean)
+//	end:        u32 EndMagic
+const (
+	JobMagic        uint32 = 0x41534a42 // "ASJB"
+	CheckpointMagic uint32 = 0x41434b50 // "ACKP"
+	RunMagic        uint32 = 0x4152554e // "ARUN"
+	EndMagic        uint32 = 0x41454e44 // "AEND"
+
+	// FlagWantState asks the worker to append the final machine state
+	// snapshot to each clean run frame.
+	FlagWantState uint32 = 1
+)
+
+// Job is one batch of runs for a worker process. Every run executes
+// the worker's single specification from reset for Targets[i] cycles
+// (or until a runtime fault).
+type Job struct {
+	// Targets holds the per-run cycle budgets, one run per entry.
+	Targets []int64
+	// CheckpointEvery, when positive, asks for a state snapshot frame
+	// every that many cycles within each run.
+	CheckpointEvery int64
+	// WantState asks for the final state snapshot on clean runs.
+	WantState bool
+}
+
+// RunError is a simulation-time failure reported by a worker, carrying
+// the same fields as sim.RuntimeError so the host can reconstruct an
+// identical error value.
+type RunError struct {
+	Component string
+	Cycle     int64
+	Msg       string
+}
+
+// RunResult is one run's outcome as reported by a worker.
+type RunResult struct {
+	// Cycles is the number of cycles actually executed.
+	Cycles int64
+	// Hash is the architectural state hash (Machine.ArchHash).
+	Hash uint64
+	// StatCycles mirrors sim.Stats.Cycles.
+	StatCycles int64
+	// MemOps holds reads/writes/inputs/outputs per memory, ordinal
+	// order, mirroring sim.Stats.MemOps.
+	MemOps [][4]int64
+	// Err is non-nil when the run ended in a runtime fault.
+	Err *RunError
+	// State is the final Machine.SaveState-compatible snapshot, present
+	// only when the job requested it and the run was clean.
+	State []byte
+}

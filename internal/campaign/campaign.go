@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/aot"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/sim"
@@ -164,7 +165,28 @@ type Engine struct {
 	// CheckpointEvery is the cycle interval between periodic
 	// checkpoints of one run; <= 0 emits only at retirement.
 	CheckpointEvery int64
+
+	// AOT, when non-nil, enables the ahead-of-time native rung of the
+	// dispatch ladder: spans whose runs are gangable, whose Program is
+	// compiled-aot, and whose program clears the amortization threshold
+	// execute in a generated subprocess worker (see internal/aot)
+	// instead of in-process. Results are bit-identical either way; any
+	// AOT failure — no toolchain, build error, worker crash — degrades
+	// to the in-process path and counts on the cache's fallback meter.
+	AOT *aot.Cache
+
+	// AOTThreshold gates AOT dispatch: a program is routed to a native
+	// worker only when its gangable runs in the campaign total at least
+	// this many cycles (cycles×runs — the scale at which the one-time
+	// `go build` amortizes). <= 0 dispatches every eligible program;
+	// CLI surfaces default to DefaultAOTThreshold.
+	AOTThreshold int64
 }
+
+// DefaultAOTThreshold is the cycles×runs floor CLI surfaces use for
+// AOT dispatch: at ~175 ns/cycle in-process and ~1 s of `go build`,
+// campaigns this long are where the native worker starts winning.
+const DefaultAOTThreshold = 10_000_000
 
 // Checkpointer is the engine's durability hook. Checkpoint is called
 // with the run's index in the campaign's run slice, the absolute
@@ -338,11 +360,16 @@ type span struct{ lo, hi int }
 type plan struct {
 	order []int
 	jobs  []span
+	// aot marks programs whose gangable runs clear the engine's
+	// amortization threshold; spans of such runs dispatch to a native
+	// worker. Campaign-level, not span-level: the build is paid once
+	// per program, so the whole campaign's cycles amortize it.
+	aot map[*core.Program]bool
 }
 
 func (e Engine) plan(runs []Run, workers int) plan {
 	gw := e.gangWidth()
-	p := plan{order: make([]int, 0, len(runs))}
+	p := plan{order: make([]int, 0, len(runs)), aot: e.aotPrograms(runs)}
 	var scalars []int
 	if gw >= 2 {
 		byProg := make(map[*core.Program][]int)
@@ -449,9 +476,12 @@ func (e Engine) ExecuteStream(ctx context.Context, runs []Run, onResult func(Res
 				gangs:   make(map[*core.Program]*sim.Gang),
 				gangCap: e.gangWidth(),
 			}
+			defer w.closeProcs()
 			for s := range jobs {
 				idxs := p.order[s.lo:s.hi]
-				if len(idxs) == 1 {
+				if p.aotEligible(idxs, runs) {
+					e.execAOT(ctx, w, idxs, runs, results)
+				} else if len(idxs) == 1 {
 					results[idxs[0]] = e.exec(ctx, w, idxs[0], runs[idxs[0]])
 				} else {
 					e.execGang(ctx, w, idxs, runs, results)
@@ -488,9 +518,19 @@ dispatch:
 type worker struct {
 	pool    map[*core.Program]*sim.Machine
 	gangs   map[*core.Program]*sim.Gang
+	procs   map[*core.Program]*aot.Proc // persistent native workers
 	gangCap int
 	targets []int64 // reused per-gang-job cycle budget buffer
 	ckbuf   []byte  // reused checkpoint snapshot buffer
+}
+
+// closeProcs shuts down the worker's native subprocesses at the end of
+// a campaign (EOF on stdin, then wait).
+func (w *worker) closeProcs() {
+	for prog, p := range w.procs {
+		p.Close()
+		delete(w.procs, prog)
+	}
 }
 
 // gang returns a pooled gang for the program with room for lanes, or

@@ -1,4 +1,4 @@
-package gogen
+package gogen_test
 
 import (
 	"bytes"
@@ -12,18 +12,19 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/codegen/gogen"
 	"repro/internal/core"
 	"repro/internal/machines"
 	"repro/internal/specgen"
 )
 
-func gen(t *testing.T, src string, opts Options) string {
+func gen(t *testing.T, src string, opts gogen.Options) string {
 	t.Helper()
 	spec, err := core.ParseString("t", src)
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	return Generate(spec.Info, opts)
+	return gogen.Generate(spec.Info, opts)
 }
 
 // parseGo checks the generated source is syntactically valid Go.
@@ -46,7 +47,7 @@ A compute 1 0 4
 A left 1 0 7
 .
 `
-	out := gen(t, src, Options{Cycles: 1})
+	out := gen(t, src, gogen.Options{Cycles: 1})
 	parseGo(t, out)
 	if !strings.Contains(out, "ljbalu = dologic(ljbcompute, ljbleft, 3048)") {
 		t.Errorf("generic ALU code missing:\n%s", out)
@@ -70,7 +71,7 @@ A value3 1 0 13
 M m 0 0 0 4
 .
 `
-	out := gen(t, src, Options{Cycles: 1})
+	out := gen(t, src, gogen.Options{Cycles: 1})
 	parseGo(t, out)
 	for i := 0; i < 4; i++ {
 		want := fmt.Sprintf("ljbselector = ljbvalue%d", i)
@@ -94,7 +95,7 @@ A data 4 memory 1
 A operation 1 0 memory.0.3
 .
 `
-	out := gen(t, src, Options{Cycles: 1})
+	out := gen(t, src, gogen.Options{Cycles: 1})
 	parseGo(t, out)
 	for i, v := range []int{12, 34, 56, 78} {
 		want := fmt.Sprintf("ljbmemory[%d] = %d", i, v)
@@ -118,7 +119,7 @@ A operation 1 0 memory.0.3
 
 // TestConstantMemoryOpDropsDispatch: §4.4's second optimization.
 func TestConstantMemoryOpDropsDispatch(t *testing.T) {
-	out := gen(t, "#c\nm .\nM m 0 5 1 1\n.", Options{Cycles: 1})
+	out := gen(t, "#c\nm .\nM m 0 5 1 1\n.", gogen.Options{Cycles: 1})
 	parseGo(t, out)
 	if strings.Contains(out, "switch opnm & 3") {
 		t.Errorf("constant op should drop the dispatch switch:\n%s", out)
@@ -131,7 +132,7 @@ func TestConstantMemoryOpDropsDispatch(t *testing.T) {
 // TestDeadLatchElision: constant-read memories get neither a data nor
 // an operation latch assignment in the generated loop.
 func TestDeadLatchElision(t *testing.T) {
-	out := gen(t, "#d\nx m .\nA x 4 m 9\nM m 0 x 0 2\n.", Options{Cycles: 1})
+	out := gen(t, "#d\nx m .\nA x 4 m 9\nM m 0 x 0 2\n.", gogen.Options{Cycles: 1})
 	parseGo(t, out)
 	if strings.Contains(out, "datam =") {
 		t.Errorf("data latch should be elided for a constant read:\n%s", out)
@@ -140,7 +141,7 @@ func TestDeadLatchElision(t *testing.T) {
 		t.Errorf("operation latch should be elided for a constant op:\n%s", out)
 	}
 	// A write memory keeps its data latch.
-	out = gen(t, "#d\nx m .\nA x 4 m 9\nM m 0 x 1 2\n.", Options{Cycles: 1})
+	out = gen(t, "#d\nx m .\nA x 4 m 9\nM m 0 x 1 2\n.", gogen.Options{Cycles: 1})
 	parseGo(t, out)
 	if !strings.Contains(out, "datam =") {
 		t.Errorf("write memory lost its data latch:\n%s", out)
@@ -150,12 +151,12 @@ func TestDeadLatchElision(t *testing.T) {
 // TestDologicElision: when every ALU function is constant and foldable
 // the dologic helper is not emitted at all.
 func TestDologicElision(t *testing.T) {
-	out := gen(t, "#c\na .\nA a 4 1 2\n.", Options{Cycles: 1})
+	out := gen(t, "#c\na .\nA a 4 1 2\n.", gogen.Options{Cycles: 1})
 	parseGo(t, out)
 	if strings.Contains(out, "func dologic") {
 		t.Errorf("dologic should be elided:\n%s", out)
 	}
-	out = gen(t, "#c\na m .\nA a m 1 2\nM m 0 0 0 2\n.", Options{Cycles: 1})
+	out = gen(t, "#c\na m .\nA a m 1 2\nM m 0 0 0 2\n.", gogen.Options{Cycles: 1})
 	parseGo(t, out)
 	if !strings.Contains(out, "func dologic") {
 		t.Errorf("dynamic function requires dologic:\n%s", out)
@@ -170,7 +171,7 @@ func TestGeneratedRandomSpecsParse(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		parseGo(t, Generate(spec.Info, Options{Cycles: 10}))
+		parseGo(t, gogen.Generate(spec.Info, gogen.Options{Cycles: 10}))
 	}
 }
 
@@ -198,7 +199,7 @@ func TestGeneratedCounterMatchesMachine(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	out := runGenerated(t, spec, Options{Cycles: cycles}, "")
+	out := runGenerated(t, spec, gogen.Options{Cycles: cycles}, "")
 	if out != trace.String() {
 		t.Errorf("generated output differs:\n--- generated ---\n%s--- machine ---\n%s", out, trace.String())
 	}
@@ -231,7 +232,7 @@ func TestGeneratedSievePrintsPrimes(t *testing.T) {
 		t.Fatalf("halted=%v err=%v", halted, err)
 	}
 
-	out := runGenerated(t, spec, Options{Cycles: n}, "")
+	out := runGenerated(t, spec, gogen.Options{Cycles: n}, "")
 	var want strings.Builder
 	for _, p := range machines.SievePrimes(size) {
 		fmt.Fprintf(&want, "%d\n", p)
@@ -243,11 +244,11 @@ func TestGeneratedSievePrintsPrimes(t *testing.T) {
 
 // runGenerated generates, builds and runs a simulator, returning its
 // stdout.
-func runGenerated(t *testing.T, spec *core.Spec, opts Options, stdin string) string {
+func runGenerated(t *testing.T, spec *core.Spec, opts gogen.Options, stdin string) string {
 	t.Helper()
 	dir := t.TempDir()
 	path := filepath.Join(dir, "main.go")
-	if err := os.WriteFile(path, []byte(Generate(spec.Info, opts)), 0o644); err != nil {
+	if err := os.WriteFile(path, []byte(gogen.Generate(spec.Info, opts)), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	bin := filepath.Join(dir, "simbin")
@@ -283,7 +284,7 @@ M out 1 in 3 1
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := runGenerated(t, spec, Options{Cycles: 3}, "10 20 30 40")
+	out := runGenerated(t, spec, gogen.Options{Cycles: 3}, "10 20 30 40")
 	// One-cycle memory delay: out lags in by one cycle.
 	if out != "0\n10\n20\n" {
 		t.Errorf("echo output = %q", out)

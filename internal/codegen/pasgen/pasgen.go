@@ -218,6 +218,22 @@ func (g *generator) valueOf(name string) string {
 	return codegen.Comb(name)
 }
 
+// parenOperand wraps an expression for embedding in a context that
+// binds tighter than the '+' joining its concatenation terms —
+// subtraction's right side, multiplication, complement. Pascal puts
+// '*' and 'div' on one precedence level, so "a * land(x, m) div 4"
+// parses as "(a * land(x, m)) div 4". Identifiers and literals stay
+// bare.
+func parenOperand(s string) string {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c == '_' || '0' <= c && c <= '9' || 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z') {
+			return "(" + s + ")"
+		}
+	}
+	return s
+}
+
 func (g *generator) emitALU(a *ast.ALU) {
 	out := codegen.Comb(a.Name)
 	left := func() string { return g.expr(&a.Left) }
@@ -231,15 +247,15 @@ func (g *generator) emitALU(a *ast.ALU) {
 		case sim.FnLeft:
 			g.p("  %s := %s;", out, left())
 		case sim.FnNot:
-			g.p("  %s := %d - %s;", out, sim.Mask, left())
+			g.p("  %s := %d - %s;", out, sim.Mask, parenOperand(left()))
 		case sim.FnAdd:
 			g.p("  %s := %s + %s;", out, left(), right())
 		case sim.FnSub:
-			g.p("  %s := %s - %s;", out, left(), right())
+			g.p("  %s := %s - %s;", out, left(), parenOperand(right()))
 		case sim.FnShl:
 			g.p("  %s := dologic(6, %s, %s);", out, left(), right())
 		case sim.FnMul:
-			g.p("  %s := %s * %s;", out, left(), right())
+			g.p("  %s := %s * %s;", out, parenOperand(left()), parenOperand(right()))
 		case sim.FnAnd:
 			g.p("  %s := land(%s, %s);", out, left(), right())
 		case sim.FnOr:

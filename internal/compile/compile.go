@@ -47,6 +47,12 @@ type Options struct {
 	// Used by the ablation benchmarks and the differential tests that
 	// compare the two gang paths.
 	NoBitParallel bool
+
+	// Name overrides BackendName. Backends that reuse this evaluator
+	// unchanged but differ elsewhere in the stack (compiled-aot's
+	// in-process half) set it so a machine reports the backend it was
+	// actually built for.
+	Name string
 }
 
 // Compiled implements sim.Evaluator with pre-compiled closures,
@@ -118,6 +124,9 @@ func zeroExpr([]int64) int64 { return 0 }
 
 // BackendName implements sim.Evaluator.
 func (c *Compiled) BackendName() string {
+	if c.opts.Name != "" {
+		return c.opts.Name
+	}
 	if c.opts.NoFold {
 		return "compiled-nofold"
 	}

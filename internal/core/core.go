@@ -8,8 +8,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
 	"repro/internal/bytecode"
+	"repro/internal/codegen/gogen"
 	"repro/internal/compile"
 	"repro/internal/interp"
 	"repro/internal/rtl/ast"
@@ -57,11 +59,19 @@ const (
 	// Bytecode lowers expressions to flat part-programs run by an
 	// accumulator VM (ablation midpoint).
 	Bytecode Backend = "bytecode"
+	// CompiledAOT is Compiled plus ahead-of-time native execution: the
+	// campaign engine may route eligible long runs to a gogen-generated
+	// subprocess worker (built once, cached on disk by source digest —
+	// see internal/aot), falling back to the in-process compiled
+	// evaluator below the amortization threshold or when no Go
+	// toolchain is available at runtime. In-process use (NewMachine,
+	// gangs) is identical to Compiled.
+	CompiledAOT Backend = "compiled-aot"
 )
 
 // Backends lists every available backend.
 func Backends() []Backend {
-	return []Backend{Interp, InterpNaive, Compiled, CompiledNoFold, CompiledNoBitpar, Bytecode}
+	return []Backend{Interp, InterpNaive, Compiled, CompiledNoFold, CompiledNoBitpar, Bytecode, CompiledAOT}
 }
 
 // Spec is a parsed and semantically analyzed specification.
@@ -141,6 +151,9 @@ type Program struct {
 	spec    *Spec
 	backend Backend
 	eval    sim.Evaluator
+
+	aotOnce sync.Once
+	aotSrc  string
 }
 
 // Compile builds the chosen backend's evaluator for an analyzed spec
@@ -186,6 +199,23 @@ func (p *Program) NewGang(capacity int) (*sim.Gang, bool) {
 	return sim.NewGang(p.spec.Info, p.eval, capacity)
 }
 
+// AOTCapable reports whether the program opted into ahead-of-time
+// native execution (backend compiled-aot). The campaign engine uses it
+// together with its amortization threshold to decide dispatch.
+func (p *Program) AOTCapable() bool { return p.backend == CompiledAOT }
+
+// AOTWorkerSource returns the generated Go source of this program's
+// native protocol worker (gogen worker mode), generated once and
+// cached. The source text is also the binary cache's identity: its
+// digest covers the spec, the generator version and the generation
+// options, so any change misses cleanly.
+func (p *Program) AOTWorkerSource() string {
+	p.aotOnce.Do(func() {
+		p.aotSrc = gogen.Generate(p.spec.Info, gogen.Options{Worker: true, NoTrace: true})
+	})
+	return p.aotSrc
+}
+
 // NewEvaluator builds the chosen backend for an analyzed spec.
 func NewEvaluator(info *sem.Info, b Backend) (sim.Evaluator, error) {
 	switch b {
@@ -201,6 +231,10 @@ func NewEvaluator(info *sem.Info, b Backend) (sim.Evaluator, error) {
 		return compile.NewWithOptions(info, compile.Options{NoBitParallel: true}), nil
 	case Bytecode:
 		return bytecode.New(info), nil
+	case CompiledAOT:
+		// The in-process half of the AOT backend is the compiled
+		// evaluator; the native worker is a campaign-dispatch concern.
+		return compile.NewWithOptions(info, compile.Options{Name: string(CompiledAOT)}), nil
 	default:
 		return nil, fmt.Errorf("unknown backend %q (have %v)", b, Backends())
 	}

@@ -1,0 +1,107 @@
+package service_test
+
+// AOT-enabled serving: a job requesting the compiled-aot backend runs
+// through the native worker path, streams results byte-identical to
+// the in-process engine, and surfaces the binary-cache counters on
+// /metrics.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/aot"
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/machines"
+	"repro/internal/service"
+)
+
+func TestServiceAOTJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles with the go toolchain")
+	}
+	cache, err := aot.NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := newServer(t, service.Config{
+		Engine: campaign.Engine{Workers: 2, Chunk: 128, AOT: cache, AOTThreshold: 0},
+	})
+	const runs, cycles = 5, 600
+	src, err := machines.SieveSpec(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, lines := postJob(t, ts.URL, service.JobRequest{
+		Spec: src, Runs: runs, Cycles: cycles, Backend: string(core.CompiledAOT)})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %v", status, lines)
+	}
+	hdr, raw, _, tr := parseStream(t, lines)
+	if hdr.Backend != string(core.CompiledAOT) {
+		t.Errorf("header backend %q, want %q", hdr.Backend, core.CompiledAOT)
+	}
+	if !tr.Done || tr.Err != "" || tr.Summary.Errors != 0 || tr.Summary.Divergences != 0 {
+		t.Errorf("trailer: %+v", tr)
+	}
+
+	// In-process reference with a plain compiled program: identical
+	// rendered lines, digests included.
+	spec, err := core.ParseString("ref", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := core.Compile(spec, core.Compiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := testEngine.Execute(context.Background(), campaign.Fleet("job", prog, runs, cycles))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[int]string, runs)
+	for _, r := range batch {
+		data, err := json.Marshal(service.ResultLine(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[r.Index] = string(data)
+	}
+	for _, l := range raw {
+		var rl service.RunLine
+		if err := json.Unmarshal([]byte(l), &rl); err != nil {
+			t.Fatal(err)
+		}
+		if l != want[rl.Index] {
+			t.Errorf("run %d: AOT line differs from in-process:\n aot: %s\n ref: %s", rl.Index, l, want[rl.Index])
+		}
+	}
+
+	m := srv.Metrics()
+	if m.AOTBuilds < 1 {
+		t.Errorf("aot_builds = %d, want >= 1", m.AOTBuilds)
+	}
+	if m.AOTFallbacks != 0 {
+		t.Errorf("aot_fallbacks = %d on a clean job", m.AOTFallbacks)
+	}
+}
+
+// TestServiceAOTMetricsAbsent: without an AOT cache the counters stay
+// zero and compiled-aot jobs still work (in-process compiled path).
+func TestServiceAOTMetricsAbsent(t *testing.T) {
+	srv, ts := newServer(t, service.Config{})
+	status, lines := postJob(t, ts.URL, service.JobRequest{
+		Spec: machines.Counter(), Runs: 2, Cycles: 64, Backend: string(core.CompiledAOT)})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %v", status, lines)
+	}
+	_, _, _, tr := parseStream(t, lines)
+	if !tr.Done || tr.Err != "" || tr.Summary.Errors != 0 {
+		t.Errorf("trailer: %+v", tr)
+	}
+	if m := srv.Metrics(); m.AOTBuilds != 0 || m.AOTHits != 0 || m.AOTFallbacks != 0 {
+		t.Errorf("AOT counters nonzero without a cache: %+v", m)
+	}
+}

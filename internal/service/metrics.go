@@ -47,6 +47,12 @@ type Metrics struct {
 	CacheHits     int64 `json:"cache_hits"`     // program-cache hits
 	CacheMisses   int64 `json:"cache_misses"`   // program-cache compilations
 	CachePrograms int   `json:"cache_programs"` // distinct cached (digest, backend) keys
+
+	// AOT binary-cache counters, all zero unless the engine was built
+	// with an aot.Cache (asimd -aot).
+	AOTBuilds    int64 `json:"aot_builds"`    // worker binaries compiled
+	AOTHits      int64 `json:"aot_hits"`      // requests served from the disk cache
+	AOTFallbacks int64 `json:"aot_fallbacks"` // dispatches degraded to in-process backends
 }
 
 // Metrics snapshots the server's counters.
@@ -75,6 +81,11 @@ func (s *Server) Metrics() Metrics {
 	}
 	if m.BusySeconds > 0 {
 		m.CyclesPerS = float64(m.CyclesTotal) / m.BusySeconds
+	}
+	if aot := s.cfg.Engine.AOT; aot != nil {
+		m.AOTBuilds = aot.Builds()
+		m.AOTHits = aot.Hits()
+		m.AOTFallbacks = aot.Fallbacks()
 	}
 	return m
 }

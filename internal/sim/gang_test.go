@@ -136,8 +136,9 @@ func TestGangEquivalenceRandom(t *testing.T) {
 	}
 }
 
-// TestGangCapability pins which backends gang: the compiled backend
-// (with and without folding) does, the others fall back.
+// TestGangCapability pins which backends gang: the compiled family
+// (ablations and compiled-aot's in-process half included) does, the
+// others fall back.
 func TestGangCapability(t *testing.T) {
 	spec, err := core.ParseString("c", "#c\nc .\nA c 1 0 1\n.")
 	if err != nil {
@@ -148,7 +149,7 @@ func TestGangCapability(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		wantGang := b == core.Compiled || b == core.CompiledNoFold || b == core.CompiledNoBitpar
+		wantGang := b == core.Compiled || b == core.CompiledNoFold || b == core.CompiledNoBitpar || b == core.CompiledAOT
 		if got := p.GangCapable(); got != wantGang {
 			t.Errorf("backend %s: GangCapable = %v, want %v", b, got, wantGang)
 		}

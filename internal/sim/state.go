@@ -25,8 +25,12 @@ import (
 // is not part of machine state; warm-starting an input-consuming run
 // needs the stream positioned to match the snapshot.
 
-// stateMagic identifies snapshot format version 1.
-const stateMagic uint64 = 0x4153494d53543101 // "ASIMST" 0x1 0x01
+// SnapshotMagic identifies snapshot format version 1. It is exported
+// so generated native workers (internal/codegen/gogen worker mode) can
+// emit byte-compatible snapshots from the one authoritative constant.
+const SnapshotMagic uint64 = 0x4153494d53543101 // "ASIMST" 0x1 0x01
+
+const stateMagic = SnapshotMagic
 
 // stateLen returns the exact byte length of this machine's snapshot.
 func (m *Machine) stateLen() int {
@@ -105,13 +109,19 @@ func (m *Machine) ArchHash() uint64 {
 	return h
 }
 
-// archHashOffset/archHashWord are the FNV-1a fold shared by
-// Machine.ArchHash and Gang.LaneArchHash: one definition, so the two
-// execution paths cannot drift apart and digests stay comparable.
-const archHashOffset = uint64(14695981039346656037)
+// ArchHashOffset/ArchHashPrime define the FNV-1a fold shared by
+// Machine.ArchHash, Gang.LaneArchHash and the generated native workers:
+// one definition, so the execution paths cannot drift apart and digests
+// stay comparable.
+const (
+	ArchHashOffset = uint64(14695981039346656037)
+	ArchHashPrime  = uint64(1099511628211)
+)
+
+const archHashOffset = ArchHashOffset
 
 func archHashWord(h uint64, v int64) uint64 {
-	return (h ^ uint64(v)) * 1099511628211
+	return (h ^ uint64(v)) * ArchHashPrime
 }
 
 // SaveState returns a binary snapshot of the machine's complete

@@ -36,6 +36,7 @@ type report struct {
 	FleetBuildSpeedup  float64 `json:"fleetbuild_speedup"`
 	GangSpeedup        float64 `json:"gang_speedup"`
 	BitParallelSpeedup float64 `json:"bitparallel_speedup"`
+	AOTSpeedup         float64 `json:"aot_speedup"`
 }
 
 // metric is one gated speedup.
@@ -50,6 +51,7 @@ func metrics(baseline, fresh report) []metric {
 		{"fleetbuild_speedup", baseline.FleetBuildSpeedup, fresh.FleetBuildSpeedup},
 		{"gang_speedup", baseline.GangSpeedup, fresh.GangSpeedup},
 		{"bitparallel_speedup", baseline.BitParallelSpeedup, fresh.BitParallelSpeedup},
+		{"aot_speedup", baseline.AOTSpeedup, fresh.AOTSpeedup},
 	}
 }
 

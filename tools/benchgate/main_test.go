@@ -35,15 +35,16 @@ func TestGateTolerenceBoundary(t *testing.T) {
 // TestGateFailsOnSyntheticRegression is the gate's reason to exist: a
 // >25% drop in any one speedup fails, naming the metric.
 func TestGateFailsOnSyntheticRegression(t *testing.T) {
-	base := report{FusedSpeedup: 1.3, FleetBuildSpeedup: 1.6, GangSpeedup: 1.65, BitParallelSpeedup: 2.5}
+	base := report{FusedSpeedup: 1.3, FleetBuildSpeedup: 1.6, GangSpeedup: 1.65, BitParallelSpeedup: 2.5, AOTSpeedup: 3.0}
 	for _, tc := range []struct {
 		name  string
 		fresh report
 	}{
-		{"fused_speedup", report{FusedSpeedup: 0.9, FleetBuildSpeedup: 1.6, GangSpeedup: 1.65, BitParallelSpeedup: 2.5}},
-		{"fleetbuild_speedup", report{FusedSpeedup: 1.3, FleetBuildSpeedup: 1.1, GangSpeedup: 1.65, BitParallelSpeedup: 2.5}},
-		{"gang_speedup", report{FusedSpeedup: 1.3, FleetBuildSpeedup: 1.6, GangSpeedup: 0.8, BitParallelSpeedup: 2.5}},
-		{"bitparallel_speedup", report{FusedSpeedup: 1.3, FleetBuildSpeedup: 1.6, GangSpeedup: 1.65, BitParallelSpeedup: 1.2}},
+		{"fused_speedup", report{FusedSpeedup: 0.9, FleetBuildSpeedup: 1.6, GangSpeedup: 1.65, BitParallelSpeedup: 2.5, AOTSpeedup: 3.0}},
+		{"fleetbuild_speedup", report{FusedSpeedup: 1.3, FleetBuildSpeedup: 1.1, GangSpeedup: 1.65, BitParallelSpeedup: 2.5, AOTSpeedup: 3.0}},
+		{"gang_speedup", report{FusedSpeedup: 1.3, FleetBuildSpeedup: 1.6, GangSpeedup: 0.8, BitParallelSpeedup: 2.5, AOTSpeedup: 3.0}},
+		{"bitparallel_speedup", report{FusedSpeedup: 1.3, FleetBuildSpeedup: 1.6, GangSpeedup: 1.65, BitParallelSpeedup: 1.2, AOTSpeedup: 3.0}},
+		{"aot_speedup", report{FusedSpeedup: 1.3, FleetBuildSpeedup: 1.6, GangSpeedup: 1.65, BitParallelSpeedup: 2.5, AOTSpeedup: 1.0}},
 	} {
 		v := gate(base, tc.fresh, 0.25)
 		if len(v) != 1 {
@@ -94,5 +95,8 @@ func TestCommittedBaseline(t *testing.T) {
 	}
 	if r.BitParallelSpeedup < 1.15 {
 		t.Errorf("committed baseline bitparallel_speedup = %.2fx, below the 1.15x the bit-plane kernels promise", r.BitParallelSpeedup)
+	}
+	if r.AOTSpeedup < 1.5 {
+		t.Errorf("committed baseline aot_speedup = %.2fx, below the 1.5x the native workers promise", r.AOTSpeedup)
 	}
 }
