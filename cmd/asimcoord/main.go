@@ -1,0 +1,83 @@
+// Command asimcoord is the cluster coordinator: an HTTP daemon over
+// internal/cluster that serves the same POST /v1/jobs API as a single
+// asimd while sharding each campaign across a static list of
+// asimd -shard workers and merging their streams back into one
+// exactly-once, index-ordered NDJSON stream.
+//
+//	asimcoord -shards localhost:8421,localhost:8422
+//	asimcoord -addr :9000 -shards 10.0.0.2:8420,10.0.0.3:8420 -chunk-runs 32
+//
+// Post a job exactly as to asimd and stream the merged results:
+//
+//	curl -N -d '{"scenario":"sieve-fleet","runs":64}' localhost:8430/v1/jobs
+//	curl -N -d "$(jq -Rs '{spec:.,runs:32}' design.sim)" localhost:8430/v1/jobs
+//
+// Resume a dropped merged stream (in-memory; see -retain-jobs):
+//
+//	curl -N -d '{"resume":{"job":"c3","delivered":40}}' localhost:8430/v1/jobs
+//
+// Observe it:
+//
+//	curl localhost:8430/healthz
+//	curl localhost:8430/metrics
+//	curl localhost:8430/v1/shards
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	log.SetFlags(0)
+	f := cluster.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		log.Fatal("usage: asimcoord [flags]; asimcoord -h lists them")
+	}
+
+	coord, err := cluster.New(f.Config())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer coord.Close()
+
+	httpSrv := &http.Server{
+		Addr:              f.Addr,
+		Handler:           coord,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain gracefully — mirrors
+	// asimd: stop accepting, let merging jobs finish (deadline-bounded
+	// anyway), then exit.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("asimcoord: serving on %s, %d shard(s)", f.Addr, len(f.Config().Shards))
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("asimcoord: draining")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Fatal(err)
+	}
+	m := coord.Metrics()
+	log.Printf("asimcoord: merged %d jobs (%d completed, %d failed), %d chunks dispatched, %d re-dispatched, %d runs",
+		m.JobsAccepted, m.JobsCompleted, m.JobsFailed, m.ChunksDispatched, m.ChunksRedispatched, m.RunsMerged)
+}

@@ -9,6 +9,7 @@
 //	asimd -jobs 4 -queue 16 -max-cycles 1e9
 //	asimd -state-dir /var/lib/asimd       (durable: jobs survive restarts)
 //	asimd -aot -aot-dir /var/cache/asimd  (native workers for compiled-aot jobs)
+//	asimd -shard -addr :8421              (worker behind an asimcoord coordinator)
 //
 // Post a job and stream its results:
 //
@@ -40,38 +41,21 @@ import (
 	"time"
 
 	"repro/internal/aot"
-	"repro/internal/campaign"
 	"repro/internal/durable"
 	"repro/internal/service"
 )
 
 func main() {
 	log.SetFlags(0)
-	addr := flag.String("addr", ":8420", "listen address")
-	workers := flag.Int("workers", 0, "engine worker goroutines per job (0 = GOMAXPROCS)")
-	chunk := flag.Int64("chunk", 0, "cycle granularity of cancellation checks (0 = engine default)")
-	gang := flag.Int("gang", 0, "gang width for lockstep execution (0 = adaptive per program, 1 disables)")
-	jobs := flag.Int("jobs", 0, "concurrent job slots (0 = default 2)")
-	queue := flag.Int("queue", 0, "jobs allowed to wait for a slot before 429 (0 = default 8)")
-	maxRuns := flag.Int("max-runs", 0, "per-job run cap (0 = default 4096)")
-	maxCycles := flag.Int64("max-cycles", 0, "per-run cycle cap (0 = default 1e8)")
-	deadline := flag.Duration("deadline", 0, "default per-job deadline (0 = 60s)")
-	maxDeadline := flag.Duration("max-deadline", 0, "cap on requested per-job deadlines (0 = 10m)")
-	maxBody := flag.Int64("max-body", 0, "request body cap in bytes (0 = 1 MiB)")
-	writeTimeout := flag.Duration("write-timeout", 0, "per-line stream write deadline; a non-reading client fails after this (0 = 30s)")
-	stateDir := flag.String("state-dir", "", "durable job store directory; jobs survive restarts and dropped streams resume (empty = durability off)")
-	ckptCycles := flag.Int64("checkpoint-cycles", 0, "cycles between run state checkpoints into -state-dir (0 = default 65536)")
-	useAOT := flag.Bool("aot", false, "enable ahead-of-time native workers for compiled-aot jobs above -aot-threshold")
-	aotDir := flag.String("aot-dir", "", "worker binary cache directory (default: a per-process temp dir)")
-	aotThreshold := flag.Int64("aot-threshold", campaign.DefaultAOTThreshold, "campaign cycles x runs below which compiled-aot jobs stay in-process (0 = always use workers)")
+	f := service.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		log.Fatal("usage: asimd [flags]; asimd -h lists them")
 	}
 
 	var store durable.Store
-	if *stateDir != "" {
-		fs, err := durable.OpenFileStore(*stateDir)
+	if f.StateDir != "" {
+		fs, err := durable.OpenFileStore(f.StateDir)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -80,8 +64,8 @@ func main() {
 	}
 
 	var aotCache *aot.Cache
-	if *useAOT {
-		dir := *aotDir
+	if f.AOT {
+		dir := f.AOTDir
 		if dir == "" {
 			tmp, err := os.MkdirTemp("", "asimd-aot-")
 			if err != nil {
@@ -95,23 +79,16 @@ func main() {
 			log.Fatal(err)
 		}
 		aotCache = c
-		log.Printf("asimd: aot worker cache at %s (threshold %d cycles)", dir, *aotThreshold)
+		log.Printf("asimd: aot worker cache at %s (threshold %d cycles)", dir, f.AOTThreshold)
 	}
 
-	srv := service.New(service.Config{
-		Engine: campaign.Engine{Workers: *workers, Chunk: *chunk, GangSize: *gang, Planner: &campaign.Planner{},
-			AOT: aotCache, AOTThreshold: *aotThreshold},
-		MaxConcurrent:    *jobs,
-		MaxQueue:         *queue,
-		MaxRuns:          *maxRuns,
-		MaxCycles:        *maxCycles,
-		MaxBody:          *maxBody,
-		DefaultDeadline:  *deadline,
-		MaxDeadline:      *maxDeadline,
-		WriteTimeout:     *writeTimeout,
-		Store:            store,
-		CheckpointCycles: *ckptCycles,
-	})
+	cfg := f.Config()
+	cfg.Engine.AOT = aotCache
+	cfg.Store = store
+	srv := service.New(cfg)
+	if f.Shard {
+		log.Print("asimd: shard mode on (accepting coordinator chunk jobs)")
+	}
 
 	// Recovery precedes serving: incomplete jobs from the previous
 	// process re-admit and finish in the background, and the job id
@@ -122,12 +99,12 @@ func main() {
 			log.Fatal(err)
 		}
 		if n > 0 {
-			log.Printf("asimd: recovered %d interrupted job(s) from %s", n, *stateDir)
+			log.Printf("asimd: recovered %d interrupted job(s) from %s", n, f.StateDir)
 		}
 	}
 
 	httpSrv := &http.Server{
-		Addr:              *addr,
+		Addr:              f.Addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -140,7 +117,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("asimd: serving on %s", *addr)
+	log.Printf("asimd: serving on %s", f.Addr)
 
 	select {
 	case err := <-errc:

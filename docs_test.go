@@ -1,11 +1,16 @@
 package asim2
 
 import (
+	"flag"
 	"os"
+	"path"
+	"reflect"
 	"strings"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/service"
 )
 
 // docSnippet is one fenced code block extracted from a markdown file.
@@ -52,7 +57,7 @@ func extractSnippets(t *testing.T, path string) []docSnippet {
 // block must parse through the module-dialect expander.
 func TestDocSnippets(t *testing.T) {
 	checked := 0
-	for _, path := range []string{"README.md", "docs/LANGUAGE.md"} {
+	for _, path := range []string{"README.md", "docs/LANGUAGE.md", "docs/OPERATIONS.md"} {
 		for _, s := range extractSnippets(t, path) {
 			switch s.tag {
 			case "asim":
@@ -74,7 +79,130 @@ func TestDocSnippets(t *testing.T) {
 			}
 		}
 	}
-	if checked < 4 {
-		t.Errorf("only %d spec snippets found across README.md and docs/LANGUAGE.md; extraction is likely broken", checked)
+	if checked < 5 {
+		t.Errorf("only %d spec snippets found across README.md, docs/LANGUAGE.md and docs/OPERATIONS.md; extraction is likely broken", checked)
+	}
+}
+
+// daemonFlags returns the registered command-line surface of both
+// daemons, keyed by command name, built from the same RegisterFlags
+// calls package main uses — so the doc checks track the binaries by
+// construction, not by a hand-maintained list.
+func daemonFlags() map[string]*flag.FlagSet {
+	asimd := flag.NewFlagSet("asimd", flag.ContinueOnError)
+	service.RegisterFlags(asimd)
+	asimcoord := flag.NewFlagSet("asimcoord", flag.ContinueOnError)
+	cluster.RegisterFlags(asimcoord)
+	return map[string]*flag.FlagSet{"asimd": asimd, "asimcoord": asimcoord}
+}
+
+// shCommandLines extracts every logical command line from a file's
+// `sh` snippets: backslash continuations joined, comments dropped.
+func shCommandLines(t *testing.T, file string) [][2]interface{} {
+	t.Helper()
+	var out [][2]interface{} // [line number, joined command text]
+	for _, s := range extractSnippets(t, file) {
+		if s.tag != "sh" {
+			continue
+		}
+		lines := strings.Split(s.src, "\n")
+		for i := 0; i < len(lines); i++ {
+			n := s.line + 1 + i
+			joined := lines[i]
+			for strings.HasSuffix(strings.TrimRight(joined, " \t"), "\\") && i+1 < len(lines) {
+				joined = strings.TrimSuffix(strings.TrimRight(joined, " \t"), "\\")
+				i++
+				joined += " " + lines[i]
+			}
+			if trimmed := strings.TrimSpace(joined); trimmed != "" && !strings.HasPrefix(trimmed, "#") {
+				out = append(out, [2]interface{}{n, trimmed})
+			}
+		}
+	}
+	return out
+}
+
+// TestOperationsCommandLines keeps the documented invocations
+// runnable: in every `sh` snippet of the operations doc and README,
+// any command line invoking asimd or asimcoord may use only flags the
+// corresponding binary actually registers.
+func TestOperationsCommandLines(t *testing.T) {
+	daemons := daemonFlags()
+	invocations := 0
+	for _, file := range []string{"docs/OPERATIONS.md", "README.md"} {
+		for _, lc := range shCommandLines(t, file) {
+			line, cmd := lc[0].(int), lc[1].(string)
+			tokens := strings.Fields(cmd)
+			fs := (*flag.FlagSet)(nil)
+			start := 0
+			for i, tok := range tokens {
+				if d, ok := daemons[path.Base(tok)]; ok {
+					fs, start = d, i+1
+					break
+				}
+			}
+			if fs == nil {
+				continue
+			}
+			invocations++
+			for _, tok := range tokens[start:] {
+				if !strings.HasPrefix(tok, "-") {
+					continue
+				}
+				name := strings.TrimLeft(tok, "-")
+				if eq := strings.IndexByte(name, '='); eq >= 0 {
+					name = name[:eq]
+				}
+				if fs.Lookup(name) == nil {
+					t.Errorf("%s:%d: %s does not register flag -%s (command: %s)", file, line, fs.Name(), name, cmd)
+				}
+			}
+		}
+	}
+	if invocations < 6 {
+		t.Errorf("only %d asimd/asimcoord invocations found in the docs; extraction is likely broken", invocations)
+	}
+}
+
+// TestOperationsFlagCoverage requires every registered asimd and
+// asimcoord flag to be documented in docs/OPERATIONS.md as `-name`.
+func TestOperationsFlagCoverage(t *testing.T) {
+	data, err := os.ReadFile("docs/OPERATIONS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(data)
+	for name, fs := range daemonFlags() {
+		fs.VisitAll(func(f *flag.Flag) {
+			if !strings.Contains(doc, "`-"+f.Name+"`") {
+				t.Errorf("docs/OPERATIONS.md does not document %s flag `-%s` (%s)", name, f.Name, f.Usage)
+			}
+		})
+	}
+}
+
+// TestOperationsMetricsCoverage requires every JSON counter either
+// daemon serves at /metrics — including the coordinator's per-shard
+// books — to appear in docs/OPERATIONS.md's glossary as `tag`.
+func TestOperationsMetricsCoverage(t *testing.T) {
+	data, err := os.ReadFile("docs/OPERATIONS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(data)
+	for _, m := range []interface{}{service.Metrics{}, cluster.Metrics{}, cluster.ShardMetrics{}} {
+		rt := reflect.TypeOf(m)
+		for i := 0; i < rt.NumField(); i++ {
+			tag := rt.Field(i).Tag.Get("json")
+			if comma := strings.IndexByte(tag, ','); comma >= 0 {
+				tag = tag[:comma]
+			}
+			if tag == "" || tag == "-" {
+				continue
+			}
+			if !strings.Contains(doc, "`"+tag+"`") {
+				t.Errorf("docs/OPERATIONS.md glossary is missing %s.%s counter `%s`", rt.Name(), rt.Field(i).Name, tag)
+			}
+		}
 	}
 }

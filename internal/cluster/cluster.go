@@ -1,0 +1,435 @@
+// Package cluster is the distributed campaign fabric: a coordinator
+// that serves the exact POST /v1/jobs API of a single asimd while
+// fanning each campaign out across a static list of asimd -shard
+// workers and merging their streams back into one.
+//
+// Three rules shape the fabric:
+//
+//   - Routing is by content. A job's route key — the spec's canonical
+//     digest, or the scenario's name and parameters — walks a
+//     consistent-hash ring of shards, so the same design always
+//     prefers the same worker and that worker's program cache and AOT
+//     binary cache stay hot for it. Chunks spill to the next shard on
+//     the ring only when the preferred one is busy or unhealthy.
+//   - The merge is exactly-once and byte-identical. Shards execute
+//     chunk-scoped jobs (service.ChunkRequest) and render every run
+//     line under its global index, byte-for-byte what an unchunked
+//     single-node execution would stream. The coordinator dedups by
+//     index and delivers lines in strict index order, so the merged
+//     stream's run lines are invariant under shard count, chunk size,
+//     re-dispatch and client disconnects.
+//   - Failure moves work, not results. Workers are health-checked
+//     (periodic /healthz probes with backoff, plus dispatch failures);
+//     when a shard dies mid-chunk, the chunk's undelivered runs are
+//     re-dispatched to a survivor, warm-started from the checkpoint
+//     lines the dead stream managed to deliver. Delivered lines are
+//     never re-requested, let alone re-emitted.
+//
+// Endpoints: POST /v1/jobs (NDJSON stream, resume tokens included),
+// GET /v1/scenarios, GET /v1/shards, GET /healthz, GET /metrics.
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/service"
+)
+
+// Config parameterizes a Coordinator. Shards is required; the zero
+// value of every other field picks a sensible default.
+type Config struct {
+	// Shards is the static list of asimd -shard base URLs (e.g.
+	// "http://10.0.0.2:8420"); a bare host:port gets "http://". At
+	// least one is required. The list is fixed for the coordinator's
+	// lifetime — health checking marks members routable or not, it
+	// never adds or removes them.
+	Shards []string
+
+	// ChunkRuns is how many runs each dispatched chunk carries; <= 0
+	// means 64. Smaller chunks spread a campaign across more shards
+	// and shrink the re-dispatch unit on failure; larger ones
+	// amortize per-dispatch overhead and keep gangs full.
+	ChunkRuns int
+
+	// MaxConcurrent is how many jobs merge simultaneously; <= 0 means
+	// 2. MaxQueue is how many admitted jobs may wait for a slot; <= 0
+	// means 8. Past the queue, 429 — same admission shape as asimd.
+	MaxConcurrent int
+	MaxQueue      int
+
+	// MaxRuns and MaxCycles cap a job like a single asimd does; <= 0
+	// mean 4096 and 10^8. MaxBody caps the request body; <= 0 means
+	// 1 MiB.
+	MaxRuns   int
+	MaxCycles int64
+	MaxBody   int64
+
+	// DefaultDeadline bounds a job that does not ask for one (<= 0:
+	// 60s); MaxDeadline caps what it may ask for (<= 0: 10m);
+	// WriteTimeout bounds each merged line's write to a client (<= 0:
+	// 30s).
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	WriteTimeout    time.Duration
+
+	// Health probing: every HealthInterval (<= 0: 2s) each shard's
+	// /healthz is probed with HealthTimeout (<= 0: 1s); HealthFails
+	// (<= 0: 2) consecutive failures — probes or dispatch errors —
+	// mark a shard unrouteable. Unhealthy shards are re-probed with
+	// exponential backoff and readmitted on the first success.
+	HealthInterval time.Duration
+	HealthTimeout  time.Duration
+	HealthFails    int
+
+	// ShardInflight is how many chunks may stream from one shard at
+	// once; <= 0 means 2. Matches the shard's own job slots: an asimd
+	// -jobs N worker should get ShardInflight = N.
+	ShardInflight int
+
+	// Retries is how many times a chunk's undelivered remainder is
+	// re-dispatched after a failed stream; <= 0 means 3.
+	Retries int
+
+	// RetainJobs is how many finished jobs stay in the merge buffer
+	// for resume; <= 0 means 16. Coordinator resume is in-memory: it
+	// survives client disconnects, not coordinator restarts (each
+	// shard's durable store is per-worker).
+	RetainJobs int
+
+	// Client, when non-nil, carries chunk streams (tests inject
+	// failure here); nil uses a default streaming client.
+	Client *http.Client
+}
+
+func (c Config) chunkRuns() int                 { return defInt(c.ChunkRuns, 64) }
+func (c Config) maxConcurrent() int             { return defInt(c.MaxConcurrent, 2) }
+func (c Config) maxQueue() int                  { return defInt(c.MaxQueue, 8) }
+func (c Config) maxRuns() int                   { return defInt(c.MaxRuns, 4096) }
+func (c Config) healthFails() int               { return defInt(c.HealthFails, 2) }
+func (c Config) shardInflight() int             { return defInt(c.ShardInflight, 2) }
+func (c Config) retries() int                   { return defInt(c.Retries, 3) }
+func (c Config) retainJobs() int                { return defInt(c.RetainJobs, 16) }
+func (c Config) defaultDeadline() time.Duration { return defDur(c.DefaultDeadline, 60*time.Second) }
+func (c Config) maxDeadline() time.Duration     { return defDur(c.MaxDeadline, 10*time.Minute) }
+func (c Config) writeTimeout() time.Duration    { return defDur(c.WriteTimeout, 30*time.Second) }
+func (c Config) healthInterval() time.Duration  { return defDur(c.HealthInterval, 2*time.Second) }
+func (c Config) healthTimeout() time.Duration   { return defDur(c.HealthTimeout, time.Second) }
+
+func (c Config) maxCycles() int64 {
+	if c.MaxCycles > 0 {
+		return c.MaxCycles
+	}
+	return 100_000_000
+}
+
+func (c Config) maxBody() int64 {
+	if c.MaxBody > 0 {
+		return c.MaxBody
+	}
+	return 1 << 20
+}
+
+func defInt(v, def int) int {
+	if v > 0 {
+		return v
+	}
+	return def
+}
+
+func defDur(v, def time.Duration) time.Duration {
+	if v > 0 {
+		return v
+	}
+	return def
+}
+
+// Coordinator is the cluster front end. Create with New; it is an
+// http.Handler serving the same surface as a single asimd. Close
+// stops the health prober.
+type Coordinator struct {
+	cfg          Config
+	shards       []*shard
+	ring         *ring
+	client       *http.Client // chunk streams
+	healthClient *http.Client // /healthz probes
+	mux          *http.ServeMux
+
+	slots  chan struct{}
+	queued atomic.Int64
+
+	jobMu    sync.Mutex
+	jobs     map[string]*coordJob
+	finished []string // retention order of finished jobs
+
+	jobSeq atomic.Int64
+	met    counters
+
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// New builds a Coordinator over the configured shards and starts its
+// health prober.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("cluster: no shards configured")
+	}
+	c := &Coordinator{
+		cfg:    cfg,
+		client: cfg.Client,
+		slots:  make(chan struct{}, cfg.maxConcurrent()),
+		jobs:   map[string]*coordJob{},
+		stop:   make(chan struct{}),
+	}
+	seen := map[string]bool{}
+	for _, raw := range cfg.Shards {
+		url := strings.TrimRight(strings.TrimSpace(raw), "/")
+		if url == "" {
+			return nil, errors.New("cluster: empty shard URL")
+		}
+		if !strings.Contains(url, "://") {
+			url = "http://" + url
+		}
+		if seen[url] {
+			return nil, fmt.Errorf("cluster: duplicate shard %s", url)
+		}
+		seen[url] = true
+		c.shards = append(c.shards, newShard(url, cfg.shardInflight()))
+	}
+	c.ring = newRing(c.shards)
+	if c.client == nil {
+		// No overall timeout: chunk streams legitimately run for the
+		// whole job deadline; the per-request context bounds them.
+		c.client = &http.Client{}
+	}
+	c.healthClient = &http.Client{Timeout: cfg.healthTimeout()}
+
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("POST /v1/jobs", c.handleJob)
+	c.mux.HandleFunc("GET /v1/scenarios", c.handleScenarios)
+	c.mux.HandleFunc("GET /v1/shards", c.handleShards)
+	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
+	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
+
+	go c.probeLoop()
+	return c, nil
+}
+
+// Close stops the health prober. In-flight jobs finish on their own.
+func (c *Coordinator) Close() { c.stopOnce.Do(func() { close(c.stop) }) }
+
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.mux.ServeHTTP(w, r)
+}
+
+func (c *Coordinator) probeLoop() {
+	t := time.NewTicker(c.cfg.healthInterval())
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+		for _, sh := range c.shards {
+			sh.maybeProbe(c.healthClient, c.cfg.healthFails())
+		}
+	}
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, c.Metrics())
+}
+
+// handleShards is the operator's routing-table view: the per-shard
+// slice of /metrics, without the coordinator totals.
+func (c *Coordinator) handleShards(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, c.Metrics().Shards)
+}
+
+func (c *Coordinator) handleScenarios(w http.ResponseWriter, _ *http.Request) {
+	type scenario struct {
+		Name          string `json:"name"`
+		Desc          string `json:"desc"`
+		FaultCampaign bool   `json:"fault_campaign,omitempty"`
+	}
+	var out []scenario
+	for _, name := range campaign.Names() {
+		sc, _ := campaign.Lookup(name)
+		out = append(out, scenario{Name: sc.Name, Desc: sc.Desc, FaultCampaign: sc.FaultCampaign})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleJob admits one job, fans it out in the background, and
+// follows the merge for this client. The request surface is exactly
+// asimd's — same JSON body, same NDJSON response shape — except that
+// the shard-protocol fields are the coordinator's to send, not to
+// receive.
+func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
+	var req service.JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, c.cfg.maxBody()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		c.met.jobsBad.Add(1)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				map[string]string{"error": fmt.Sprintf("request body exceeds this coordinator's %d-byte limit", tooBig.Limit)})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad job request: %v", err)})
+		return
+	}
+	if req.Resume != nil {
+		c.handleResume(w, r, req)
+		return
+	}
+	if req.Chunk != nil || req.StreamCheckpoints || len(req.Warm) > 0 {
+		c.met.jobsBad.Add(1)
+		writeJSON(w, http.StatusBadRequest,
+			map[string]string{"error": "chunk, stream_checkpoints and warm are the coordinator-to-shard protocol; post plain jobs here"})
+		return
+	}
+
+	// Admission mirrors asimd: slot, bounded queue, then 429.
+	select {
+	case c.slots <- struct{}{}:
+	default:
+		if c.queued.Add(1) > int64(c.cfg.maxQueue()) {
+			c.queued.Add(-1)
+			c.met.jobsRejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "queue full"})
+			return
+		}
+		select {
+		case c.slots <- struct{}{}:
+			c.queued.Add(-1)
+		case <-r.Context().Done():
+			c.queued.Add(-1)
+			c.met.jobsAbandoned.Add(1)
+			return
+		}
+	}
+
+	id := fmt.Sprintf("c%d", c.jobSeq.Add(1))
+	p, err := c.planJob(id, req)
+	if err != nil {
+		<-c.slots
+		c.met.jobsBad.Add(1)
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	j := newCoordJob(p, c.ring.prefer(p.key))
+	c.jobMu.Lock()
+	c.jobs[id] = j
+	c.jobMu.Unlock()
+	c.met.jobsAccepted.Add(1)
+
+	// The merge runs detached, holding the slot; this handler is just
+	// the job's first follower.
+	go c.runJob(j)
+	c.follow(w, r, j, 0, false)
+}
+
+// handleResume re-attaches a client to a job's merge buffer. The
+// token is the same {job, delivered} shape as asimd's, but counts
+// index-ordered merged lines, and the buffer is in-memory: a
+// coordinator restart forgets it (shard durability is per-worker).
+func (c *Coordinator) handleResume(w http.ResponseWriter, r *http.Request, req service.JobRequest) {
+	rr := req.Resume
+	fail := func(status int, msg string) {
+		c.met.jobsBad.Add(1)
+		writeJSON(w, status, map[string]string{"error": msg})
+	}
+	if req.Spec != "" || req.Scenario != "" {
+		fail(http.StatusBadRequest, "a resume request takes no spec or scenario")
+		return
+	}
+	if rr.Delivered < 0 {
+		fail(http.StatusBadRequest, "resume.delivered must be non-negative")
+		return
+	}
+	c.jobMu.Lock()
+	j := c.jobs[rr.Job]
+	c.jobMu.Unlock()
+	if j == nil {
+		fail(http.StatusNotFound, fmt.Sprintf("unknown job %q (coordinator resume is in-memory and bounded; see -retain-jobs)", rr.Job))
+		return
+	}
+	if rr.Delivered > j.n() {
+		fail(http.StatusBadRequest, fmt.Sprintf("resume.delivered %d exceeds the job's %d runs", rr.Delivered, j.n()))
+		return
+	}
+	c.met.jobsResumed.Add(1)
+	c.follow(w, r, j, rr.Delivered, true)
+}
+
+// retire enforces the finished-job retention bound: the oldest
+// finished jobs fall out of the merge buffer once more than
+// RetainJobs have completed.
+func (c *Coordinator) retire(id string) {
+	c.jobMu.Lock()
+	defer c.jobMu.Unlock()
+	c.finished = append(c.finished, id)
+	for len(c.finished) > c.cfg.retainJobs() {
+		delete(c.jobs, c.finished[0])
+		c.finished = c.finished[1:]
+	}
+}
+
+// lineWriter is the merged stream's writer: NDJSON lines, flushed per
+// line, each write bounded by the configured timeout. One goroutine
+// (the follower) owns it, so no locking.
+type lineWriter struct {
+	w       http.ResponseWriter
+	rc      *http.ResponseController
+	timeout time.Duration
+	err     error
+}
+
+func (lw *lineWriter) line(v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		lw.err = err
+		return
+	}
+	lw.raw(data)
+}
+
+func (lw *lineWriter) raw(data []byte) {
+	if lw.err != nil {
+		return
+	}
+	_ = lw.rc.SetWriteDeadline(time.Now().Add(lw.timeout))
+	if _, err := lw.w.Write(data); err != nil {
+		lw.err = err
+		return
+	}
+	if _, err := lw.w.Write([]byte{'\n'}); err != nil {
+		lw.err = err
+		return
+	}
+	if err := lw.rc.Flush(); err != nil {
+		lw.err = err
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,548 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+// plan is an admitted job before any chunk is dispatched: the
+// sanitized request shards will rebuild runs from, the merged
+// stream's header, the campaign's size, and the consistent-hash route
+// key. Planning validates everything a shard would reject — a bad
+// spec answers 400 from the coordinator without a single dispatch.
+type plan struct {
+	req    service.JobRequest
+	header service.JobHeader
+	n      int
+	key    string
+}
+
+// scenarioSizeCap mirrors the shards' own cap on the scenario Size
+// parameter, so oversized requests bounce here instead of 400ing on
+// every shard.
+const scenarioSizeCap = 1 << 20
+
+func (c *Coordinator) planJob(id string, req service.JobRequest) (*plan, error) {
+	switch {
+	case req.Spec == "" && req.Scenario == "":
+		return nil, fmt.Errorf("job needs a spec or a scenario")
+	case req.Spec != "" && req.Scenario != "":
+		return nil, fmt.Errorf("job takes a spec or a scenario, not both")
+	}
+	if req.Runs < 0 || req.Cycles < 0 || req.DeadlineMS < 0 || req.Size < 0 || req.Seed < 0 {
+		return nil, fmt.Errorf("runs, cycles, seed, size and deadline_ms must be non-negative")
+	}
+	if req.Backend != "" {
+		if err := validBackend(core.Backend(req.Backend)); err != nil {
+			return nil, err
+		}
+	}
+	if req.Scenario != "" {
+		return c.planScenario(id, req)
+	}
+	return c.planSpec(id, req)
+}
+
+func (c *Coordinator) planSpec(id string, req service.JobRequest) (*plan, error) {
+	parse := core.ParseString
+	if req.Modules {
+		parse = core.ParseExtendedString
+	}
+	spec, err := parse("job", req.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %v", err)
+	}
+	n := req.Runs
+	if n == 0 {
+		n = 1
+	}
+	cycles := req.Cycles
+	if cycles == 0 {
+		cycles = spec.DefaultCycles(10000)
+	}
+	if err := c.checkLimits(n, cycles); err != nil {
+		return nil, err
+	}
+	backend := req.Backend
+	if backend == "" {
+		backend = string(core.Compiled)
+	}
+	// The route key is the spec's content identity — the same digest
+	// the shards compile under — so a spec's chunks land where its
+	// program and AOT binary are already cached.
+	digest := spec.CanonicalDigest()
+	return &plan{
+		req:    req,
+		header: service.JobHeader{Job: id, Runs: n, Backend: backend, SpecDigest: digest},
+		n:      n,
+		key:    digest,
+	}, nil
+}
+
+func (c *Coordinator) planScenario(id string, req service.JobRequest) (*plan, error) {
+	sc, ok := campaign.Lookup(req.Scenario)
+	if !ok {
+		return nil, fmt.Errorf("unknown scenario %q (have %v)", req.Scenario, campaign.Names())
+	}
+	if err := c.checkLimits(req.Runs, req.Cycles); err != nil {
+		return nil, err
+	}
+	if req.Size > scenarioSizeCap {
+		return nil, fmt.Errorf("job asks for size %d; this cluster caps scenario size at %d", req.Size, scenarioSizeCap)
+	}
+	// The coordinator builds the scenario once, locally, to learn the
+	// campaign's true size (scenarios apply their own defaults and
+	// multipliers) — chunk boundaries need it, and shards rebuild the
+	// same list deterministically from the request.
+	runs, err := sc.Build(campaign.Params{
+		N:       req.Runs,
+		Cycles:  req.Cycles,
+		Backend: core.Backend(req.Backend),
+		Seed:    req.Seed,
+		Size:    req.Size,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %v", req.Scenario, err)
+	}
+	maxCycles := int64(0)
+	for _, r := range runs {
+		if r.Cycles > maxCycles {
+			maxCycles = r.Cycles
+		}
+	}
+	if err := c.checkLimits(len(runs), maxCycles); err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("scenario/%s/%d/%d/%s/%d/%d", req.Scenario, req.Runs, req.Cycles, req.Backend, req.Seed, req.Size)
+	return &plan{
+		req:    req,
+		header: service.JobHeader{Job: id, Runs: len(runs), Scenario: req.Scenario},
+		n:      len(runs),
+		key:    key,
+	}, nil
+}
+
+func validBackend(b core.Backend) error {
+	for _, k := range core.Backends() {
+		if b == k {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown backend %q (have %v)", b, core.Backends())
+}
+
+func (c *Coordinator) checkLimits(runs int, cycles int64) error {
+	if max := c.cfg.maxRuns(); runs > max {
+		return fmt.Errorf("job asks for %d runs; this cluster caps jobs at %d", runs, max)
+	}
+	if max := c.cfg.maxCycles(); cycles > max {
+		return fmt.Errorf("job asks for %d cycles per run; this cluster caps runs at %d", cycles, max)
+	}
+	return nil
+}
+
+// coordJob is one campaign being merged: every delivered run line by
+// global index (the merge buffer followers stream from), the latest
+// streamed checkpoint per run (the warm-start feed for re-dispatch),
+// and completion state. Exactly-once delivery is the setLine dedup: a
+// slow shard and its replacement may both deliver a run, but only the
+// first line lands, and since both are byte-identical by the shard
+// protocol's contract it does not matter which.
+type coordJob struct {
+	header service.JobHeader
+	req    service.JobRequest
+	pref   []*shard // ring preference order for the job's route key
+
+	mu      sync.Mutex
+	lines   [][]byte // merged run lines, indexed globally; nil = undelivered
+	got     int
+	warm    map[int]service.WarmEntry // latest checkpoint per run
+	done    bool
+	trailer service.JobTrailer
+	notify  chan struct{}
+}
+
+func newCoordJob(p *plan, pref []*shard) *coordJob {
+	return &coordJob{
+		header: p.header,
+		req:    p.req,
+		pref:   pref,
+		lines:  make([][]byte, p.n),
+		warm:   map[int]service.WarmEntry{},
+		notify: make(chan struct{}),
+	}
+}
+
+func (j *coordJob) n() int { return len(j.lines) }
+
+// wait returns a channel closed at the job's next event (a merged
+// line, or completion). Grab it before reading the merge buffer.
+func (j *coordJob) wait() <-chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.notify
+}
+
+func (j *coordJob) bumpLocked() {
+	if j.done {
+		return
+	}
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// setLine merges one run line; reports whether it was new.
+func (j *coordJob) setLine(i int, line []byte) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if i < 0 || i >= len(j.lines) || j.lines[i] != nil {
+		return false
+	}
+	j.lines[i] = line
+	j.got++
+	j.bumpLocked()
+	return true
+}
+
+// noteWarm keeps the latest checkpoint per run. The coordinator never
+// inspects the state bytes — validity is the re-dispatched shard's
+// problem (a bad snapshot cold-starts the run there).
+func (j *coordJob) noteWarm(ck service.CheckpointLine) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if prev, ok := j.warm[ck.Index]; ok && prev.Cycle >= ck.Cycle {
+		return
+	}
+	j.warm[ck.Index] = service.WarmEntry{Run: ck.Index, Cycle: ck.Cycle, State: ck.State}
+}
+
+// undelivered filters pick down to the runs still missing a line.
+func (j *coordJob) undelivered(pick []int) []int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var left []int
+	for _, i := range pick {
+		if j.lines[i] == nil {
+			left = append(left, i)
+		}
+	}
+	return left
+}
+
+// warmFor collects the warm entries available for a pick.
+func (j *coordJob) warmFor(pick []int) []service.WarmEntry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var warm []service.WarmEntry
+	for _, i := range pick {
+		if w, ok := j.warm[i]; ok {
+			warm = append(warm, w)
+		}
+	}
+	return warm
+}
+
+// finish marks the job done with its trailer and wakes all followers.
+func (j *coordJob) finish(tr service.JobTrailer) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.done = true
+	j.trailer = tr
+	close(j.notify)
+}
+
+// runJob executes a planned job to completion in the background,
+// holding the admission slot the handler acquired. Detaching
+// execution from the client connection keeps cluster semantics
+// aligned with durable single-node asimd: a client that disconnects
+// mid-merge abandons its stream, not the job, and resumes from the
+// merge buffer.
+func (c *Coordinator) runJob(j *coordJob) {
+	defer func() { <-c.slots }()
+	c.met.jobsActive.Add(1)
+	defer c.met.jobsActive.Add(-1)
+
+	deadline := c.cfg.defaultDeadline()
+	if j.req.DeadlineMS > 0 {
+		deadline = time.Duration(j.req.DeadlineMS) * time.Millisecond
+	}
+	if max := c.cfg.maxDeadline(); deadline > max {
+		deadline = max
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+
+	j.pref[0].jobsRouted.Add(1)
+
+	// Fan the campaign out as contiguous ChunkRuns-sized windows. Each
+	// chunk goroutine runs its own dispatch-retry loop; concurrency is
+	// bounded by the per-shard in-flight semaphores, not here.
+	size := c.cfg.chunkRuns()
+	var wg sync.WaitGroup
+	errc := make(chan error, 1)
+	for lo := 0; lo < j.n(); lo += size {
+		n := size
+		if lo+n > j.n() {
+			n = j.n() - lo
+		}
+		wg.Add(1)
+		go func(pick []int) {
+			defer wg.Done()
+			if err := c.runChunk(ctx, j, pick); err != nil {
+				select {
+				case errc <- err:
+				default:
+				}
+				cancel()
+			}
+		}(campaign.Range(lo, n))
+	}
+	wg.Wait()
+	var execErr error
+	select {
+	case execErr = <-errc:
+	default:
+	}
+
+	// The trailer's summary is reconstructed from the merged lines,
+	// exactly as a resumed single-node stream's is: totals are exact,
+	// the per-memory breakdown collapsed when the lines were rendered.
+	j.mu.Lock()
+	var results []campaign.Result
+	for _, line := range j.lines {
+		if line == nil {
+			continue
+		}
+		var l service.RunLine
+		if json.Unmarshal(line, &l) == nil {
+			results = append(results, service.LineResult(l))
+		}
+	}
+	j.mu.Unlock()
+	tr := service.JobTrailer{Done: true, Summary: campaign.Summarize(results, 0)}
+	if execErr != nil {
+		tr.Err = execErr.Error()
+		c.met.jobsFailed.Add(1)
+	} else {
+		c.met.jobsCompleted.Add(1)
+	}
+	j.finish(tr)
+	c.retire(j.header.Job)
+}
+
+// transportError marks dispatch failures that indict the shard — a
+// refused connection, a reset stream, a missing trailer — as opposed
+// to the job (an engine error a retry would just reproduce).
+type transportError struct{ err error }
+
+func (e transportError) Error() string { return e.err.Error() }
+
+// runChunk drives one chunk to full delivery: acquire a shard by
+// preference, stream the chunk, and if the stream dies early,
+// re-dispatch whatever is still undelivered — warm-started from the
+// checkpoints the dead stream managed to deliver — to the next
+// willing shard. The chunk's state machine is: dispatched → streaming
+// → (delivered | failed → re-dispatched, up to Retries times).
+func (c *Coordinator) runChunk(ctx context.Context, j *coordJob, pick []int) error {
+	for attempt := 0; ; attempt++ {
+		sh, err := c.acquireShard(ctx, j.pref)
+		if err != nil {
+			return fmt.Errorf("chunk [%d..%d]: %v", pick[0], pick[len(pick)-1], err)
+		}
+		if attempt > 0 {
+			sh.chunksRedispatched.Add(1)
+			c.met.chunksRedispatched.Add(1)
+		}
+		sh.chunksDispatched.Add(1)
+		c.met.chunksDispatched.Add(1)
+		err = c.streamChunk(ctx, sh, j, pick)
+		sh.release()
+
+		left := j.undelivered(pick)
+		if len(left) == 0 {
+			// Every run landed; a trailing stream error (e.g. the shard
+			// died after its last result) is moot.
+			sh.noteOK()
+			sh.chunksCompleted.Add(1)
+			c.met.chunksCompleted.Add(1)
+			return nil
+		}
+		if err == nil {
+			err = transportError{fmt.Errorf("stream ended with %d of %d runs undelivered", len(left), len(pick))}
+		}
+		if _, isTransport := err.(transportError); isTransport {
+			// Couple dispatch failures into health: a SIGKILLed worker
+			// is off the routing table after HealthFails in-flight
+			// chunks die, without waiting out a probe cycle.
+			sh.failures.Add(1)
+			sh.noteFailure(c.cfg.healthFails())
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("chunk [%d..%d] on %s: %v", pick[0], pick[len(pick)-1], sh.url, ctx.Err())
+		}
+		if attempt >= c.cfg.retries() {
+			return fmt.Errorf("chunk [%d..%d]: %v (giving up after %d attempts)", pick[0], pick[len(pick)-1], err, attempt+1)
+		}
+		pick = left
+	}
+}
+
+// acquireShard claims an in-flight slot on the first healthy shard in
+// preference order, polling until one frees up or the job's deadline
+// expires. Spilling past the home shard trades cache affinity for
+// progress — an idle second-choice beats a queue on the first.
+func (c *Coordinator) acquireShard(ctx context.Context, pref []*shard) (*shard, error) {
+	for {
+		for _, sh := range pref {
+			if sh.isHealthy() && sh.tryAcquire() {
+				return sh, nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// streamChunk posts one chunk-scoped job to a shard and consumes its
+// NDJSON stream: run lines merge into the job (byte-for-byte — the
+// shard rendered them under global indices already), checkpoint lines
+// feed the warm-start map, and the trailer closes the books. Any
+// transport-level defect is a transportError so the caller re-routes;
+// a trailer carrying an engine error is returned plain.
+func (c *Coordinator) streamChunk(ctx context.Context, sh *shard, j *coordJob, pick []int) error {
+	creq := j.req
+	creq.Chunk = &service.ChunkRequest{Pick: append([]int(nil), pick...)}
+	creq.StreamCheckpoints = true
+	creq.Warm = j.warmFor(pick)
+	body, err := json.Marshal(creq)
+	if err != nil {
+		return err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, sh.url+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return transportError{err}
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(hreq)
+	if err != nil {
+		return transportError{err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		// Non-200s are all retryable against another shard: 429 means
+		// busy, 400 would mean a protocol bug but is not the job's
+		// engine failing.
+		return transportError{fmt.Errorf("shard answered %d: %s", resp.StatusCode, bytes.TrimSpace(msg))}
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	first := true
+	var trailer *service.JobTrailer
+	for sc.Scan() {
+		line := sc.Bytes()
+		if first {
+			first = false // the shard's chunk header; the merged stream has its own
+			continue
+		}
+		var probe struct {
+			Checkpoint bool  `json:"checkpoint"`
+			Done       *bool `json:"done"`
+			Index      *int  `json:"index"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return transportError{fmt.Errorf("unparseable stream line: %v", err)}
+		}
+		switch {
+		case probe.Checkpoint:
+			var ck service.CheckpointLine
+			if err := json.Unmarshal(line, &ck); err == nil {
+				j.noteWarm(ck)
+			}
+		case probe.Done != nil:
+			tr := service.JobTrailer{}
+			if err := json.Unmarshal(line, &tr); err != nil {
+				return transportError{fmt.Errorf("unparseable trailer: %v", err)}
+			}
+			trailer = &tr
+		case probe.Index != nil:
+			if j.setLine(*probe.Index, append([]byte(nil), line...)) {
+				c.met.runsMerged.Add(1)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return transportError{err}
+	}
+	if trailer == nil {
+		return transportError{fmt.Errorf("stream ended without a trailer")}
+	}
+	if trailer.Err != "" {
+		return fmt.Errorf("shard %s: %s", sh.url, trailer.Err)
+	}
+	return nil
+}
+
+// follow streams a job's merge buffer to one client in strict global
+// index order from line `from`, waiting on the job's notifications as
+// later lines land, and ends with the job's trailer. Both the
+// original handler and resume streams are followers — the merge
+// itself never depends on any client keeping up.
+func (c *Coordinator) follow(w http.ResponseWriter, r *http.Request, j *coordJob, from int, resumed bool) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Job-Id", j.header.Job)
+	out := &lineWriter{w: w, rc: http.NewResponseController(w), timeout: c.cfg.writeTimeout()}
+	hdr := j.header
+	hdr.Resumed = resumed
+	out.line(hdr)
+
+	next := from
+	for {
+		wake := j.wait()
+		j.mu.Lock()
+		var batch [][]byte
+		for next < len(j.lines) && j.lines[next] != nil {
+			batch = append(batch, j.lines[next])
+			next++
+		}
+		done, trailer := j.done, j.trailer
+		j.mu.Unlock()
+		for _, line := range batch {
+			out.raw(line)
+		}
+		if out.err != nil {
+			if !resumed && !done {
+				c.met.jobsAbandoned.Add(1)
+			}
+			return
+		}
+		if done {
+			out.line(trailer)
+			_ = out.rc.SetWriteDeadline(time.Time{})
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			if !resumed {
+				c.met.jobsAbandoned.Add(1)
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package cluster
+
+import "sync/atomic"
+
+// counters is the coordinator's internal metric state, all atomics.
+type counters struct {
+	jobsAccepted       atomic.Int64
+	jobsCompleted      atomic.Int64
+	jobsFailed         atomic.Int64
+	jobsRejected       atomic.Int64
+	jobsAbandoned      atomic.Int64
+	jobsBad            atomic.Int64
+	jobsResumed        atomic.Int64
+	jobsActive         atomic.Int64
+	chunksDispatched   atomic.Int64
+	chunksCompleted    atomic.Int64
+	chunksRedispatched atomic.Int64
+	runsMerged         atomic.Int64
+}
+
+// ShardMetrics is one worker's slice of the coordinator's books.
+type ShardMetrics struct {
+	URL                string `json:"url"`
+	Healthy            bool   `json:"healthy"`             // current routing eligibility
+	JobsRouted         int64  `json:"jobs_routed"`         // jobs whose home shard this is
+	ChunksDispatched   int64  `json:"chunks_dispatched"`   // chunk streams opened against it
+	ChunksCompleted    int64  `json:"chunks_completed"`    // chunks it delivered completely
+	ChunksRedispatched int64  `json:"chunks_redispatched"` // chunks it picked up after another shard failed them
+	Failures           int64  `json:"failures"`            // its failed dispatch attempts (transport or truncated stream)
+}
+
+// Metrics is one consistent-enough snapshot of the coordinator's
+// counters, served as JSON by GET /metrics. Counters are monotonic;
+// JobsActive and QueueDepth are gauges.
+type Metrics struct {
+	JobsAccepted  int64 `json:"jobs_accepted"`  // admitted to run (after any queueing)
+	JobsCompleted int64 `json:"jobs_completed"` // merged to completion, every run delivered
+	JobsFailed    int64 `json:"jobs_failed"`    // deadline exceeded or chunks exhausted their retries
+	JobsRejected  int64 `json:"jobs_rejected"`  // 429: queue full
+	JobsAbandoned int64 `json:"jobs_abandoned"` // client disconnected mid-merge (job finishes; resumable)
+	JobsBad       int64 `json:"jobs_bad"`       // 400/413: malformed or over limits
+	JobsResumed   int64 `json:"jobs_resumed"`   // resume streams served from the merge buffer
+	JobsActive    int64 `json:"jobs_active"`    // gauge: merging right now
+	QueueDepth    int64 `json:"queue_depth"`    // gauge: waiting for a slot
+
+	ChunksDispatched   int64 `json:"chunks_dispatched"`   // chunk streams opened across all shards
+	ChunksCompleted    int64 `json:"chunks_completed"`    // chunks whose runs were all delivered
+	ChunksRedispatched int64 `json:"chunks_redispatched"` // failover re-dispatches of a chunk's undelivered runs
+	RunsMerged         int64 `json:"runs_merged"`         // run lines merged into client streams
+
+	ShardsHealthy int            `json:"shards_healthy"` // gauge: shards currently routable
+	Shards        []ShardMetrics `json:"shards"`         // per-shard books, in configuration order
+}
+
+// Metrics snapshots the coordinator's counters.
+func (c *Coordinator) Metrics() Metrics {
+	m := Metrics{
+		JobsAccepted:  c.met.jobsAccepted.Load(),
+		JobsCompleted: c.met.jobsCompleted.Load(),
+		JobsFailed:    c.met.jobsFailed.Load(),
+		JobsRejected:  c.met.jobsRejected.Load(),
+		JobsAbandoned: c.met.jobsAbandoned.Load(),
+		JobsBad:       c.met.jobsBad.Load(),
+		JobsResumed:   c.met.jobsResumed.Load(),
+		JobsActive:    c.met.jobsActive.Load(),
+		QueueDepth:    c.queued.Load(),
+
+		ChunksDispatched:   c.met.chunksDispatched.Load(),
+		ChunksCompleted:    c.met.chunksCompleted.Load(),
+		ChunksRedispatched: c.met.chunksRedispatched.Load(),
+		RunsMerged:         c.met.runsMerged.Load(),
+	}
+	for _, sh := range c.shards {
+		healthy := sh.isHealthy()
+		if healthy {
+			m.ShardsHealthy++
+		}
+		m.Shards = append(m.Shards, ShardMetrics{
+			URL:                sh.url,
+			Healthy:            healthy,
+			JobsRouted:         sh.jobsRouted.Load(),
+			ChunksDispatched:   sh.chunksDispatched.Load(),
+			ChunksCompleted:    sh.chunksCompleted.Load(),
+			ChunksRedispatched: sh.chunksRedispatched.Load(),
+			Failures:           sh.failures.Load(),
+		})
+	}
+	return m
+}

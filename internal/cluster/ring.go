@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// The consistent-hash ring routes jobs to shards by content identity:
+// a job's route key (spec canonical digest, or scenario name plus
+// parameters) hashes to a point on the ring and walks clockwise
+// through each shard's virtual nodes. Two properties matter here:
+//
+//   - Affinity: the same spec always prefers the same shard, so that
+//     shard's ProgramCache and AOT binary cache stay hot for its spec
+//     population — re-compiling per chunk would erase the cluster's
+//     point.
+//   - Graceful spill: the walk yields a full preference order, not one
+//     owner. A busy or dead preferred shard hands its chunks to the
+//     next shard on the ring, and adding a shard moves only ~1/N of
+//     the key space.
+const vnodes = 64
+
+type ringPoint struct {
+	hash  uint64
+	shard *shard
+}
+
+type ring struct {
+	points []ringPoint
+	shards int
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	// FNV-1a's trailing bytes avalanche poorly — keys differing only
+	// in a final digit (vnode suffixes, digest tails) land in narrow
+	// bands and starve shards. A Murmur3-style finalizer fixes the
+	// distribution without leaving the standard library.
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+func newRing(shards []*shard) *ring {
+	r := &ring{shards: len(shards)}
+	for _, sh := range shards {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash64(fmt.Sprintf("%s#%d", sh.url, v)), sh})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// prefer returns every shard exactly once, ordered by the clockwise
+// ring walk from the key's hash: the first entry is the key's home,
+// the rest its spill-over order.
+func (r *ring) prefer(key string) []*shard {
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	pref := make([]*shard, 0, r.shards)
+	seen := make(map[*shard]bool, r.shards)
+	for i := 0; i < len(r.points) && len(pref) < r.shards; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			pref = append(pref, p.shard)
+		}
+	}
+	return pref
+}

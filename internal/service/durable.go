@@ -185,6 +185,47 @@ func (c *storeCheckpointer) Checkpoint(run int, cycle int64, state []byte) {
 	c.s.met.checkpoints.Add(1)
 }
 
+// streamCheckpointer interleaves checkpoint lines into a shard job's
+// NDJSON stream, remapped to global run indices, so a coordinator can
+// warm-start re-dispatched chunks without sharing the shard's disk.
+// Checkpoint lines ride the same lineWriter as results — its mutex is
+// what makes concurrent engine workers safe here — but are never
+// persisted and never count toward resume tokens.
+type streamCheckpointer struct {
+	out *lineWriter
+	idx []int
+}
+
+func (c *streamCheckpointer) Checkpoint(run int, cycle int64, state []byte) {
+	if c.idx != nil {
+		run = c.idx[run]
+	}
+	// Marshal copies the state bytes before the engine reuses the
+	// buffer; nothing here retains them.
+	data, err := json.Marshal(CheckpointLine{Checkpoint: true, Index: run, Cycle: cycle, State: state})
+	if err != nil {
+		return
+	}
+	c.out.raw(data)
+}
+
+// joinCheckpointers fans one engine hook out to several sinks (store
+// and stream, for a durable shard).
+func joinCheckpointers(cks []campaign.Checkpointer) campaign.Checkpointer {
+	if len(cks) == 1 {
+		return cks[0]
+	}
+	return multiCheckpointer(cks)
+}
+
+type multiCheckpointer []campaign.Checkpointer
+
+func (m multiCheckpointer) Checkpoint(run int, cycle int64, state []byte) {
+	for _, c := range m {
+		c.Checkpoint(run, cycle, state)
+	}
+}
+
 // ckpt is a run's recoverable snapshot.
 type ckpt struct {
 	cycle int64
@@ -299,7 +340,7 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request, req JobReq
 			out.raw(st.lines[i])
 			sent++
 		}
-		if out.err != nil {
+		if out.failed() != nil {
 			return
 		}
 		if st.done {
@@ -331,24 +372,25 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request, req JobReq
 	for _, line := range st.lines {
 		var l RunLine
 		if json.Unmarshal(line, &l) == nil {
-			results = append(results, lineResult(l))
+			results = append(results, LineResult(l))
 		}
 	}
 	trailer := JobTrailer{Done: true, Summary: campaign.Summarize(results, 0)}
 	trailer.Err = st.doneErr
 	out.line(trailer)
 	_ = out.rc.SetWriteDeadline(time.Time{})
-	if st.done && out.err == nil {
+	if st.done && out.failed() == nil {
 		// Fully delivered: the job's records can serve no further
 		// resume.
 		s.dropJob(rr.Job)
 	}
 }
 
-// lineResult reconstructs a campaign.Result from its stored stream
-// line, for summarizing. Totals survive exactly; the per-memory
-// breakdown is a single synthetic entry carrying the sums.
-func lineResult(l RunLine) campaign.Result {
+// LineResult reconstructs a campaign.Result from its stream line, for
+// summarizing — the inverse the resume path and the cluster merge both
+// use. Totals survive exactly; the per-memory breakdown is a single
+// synthetic entry carrying the sums.
+func LineResult(l RunLine) campaign.Result {
 	r := campaign.Result{
 		Index:  l.Index,
 		Name:   l.Name,
@@ -396,20 +438,23 @@ func (s *Server) completeJob(id string, jr *jobRun) {
 	}
 
 	// The unfinished suffix: idx maps the sub-campaign's indices back
-	// to the job's. A retirement checkpoint at the run's full cycle
-	// budget still warm-starts (zero cycles left to step) — the crash
-	// fell between the checkpoint and its result record.
+	// to the job's global ones (for a chunk job, records are keyed by
+	// the full campaign's indices). A retirement checkpoint at the
+	// run's full cycle budget still warm-starts (zero cycles left to
+	// step) — the crash fell between the checkpoint and its result
+	// record.
 	var todo []campaign.Run
 	var idx []int
 	for i, run := range job.runs {
-		if st.results[int64(i)] {
+		gi := job.global(i)
+		if st.results[int64(gi)] {
 			continue
 		}
-		if ck, ok := st.cks[int64(i)]; ok && ck.cycle <= run.Cycles {
+		if ck, ok := st.cks[int64(gi)]; ok && ck.cycle <= run.Cycles {
 			run.Warm = campaign.WarmStartFromState(run.Program, ck.cycle, ck.state)
 		}
 		todo = append(todo, run)
-		idx = append(idx, i)
+		idx = append(idx, gi)
 	}
 	if len(todo) == 0 {
 		s.persistDone(id, nil)

@@ -1,0 +1,81 @@
+package service
+
+import (
+	"flag"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// Flags is asimd's full command-line surface, registered onto a
+// FlagSet by RegisterFlags. Keeping the definitions here — not in
+// package main — lets docs_test verify that docs/OPERATIONS.md covers
+// every flag and that its command-line snippets use only flags that
+// exist, without shelling out to a built binary.
+type Flags struct {
+	Addr             string
+	Workers          int
+	Chunk            int64
+	Gang             int
+	Jobs             int
+	Queue            int
+	MaxRuns          int
+	MaxCycles        int64
+	Deadline         time.Duration
+	MaxDeadline      time.Duration
+	MaxBody          int64
+	WriteTimeout     time.Duration
+	StateDir         string
+	CheckpointCycles int64
+	AOT              bool
+	AOTDir           string
+	AOTThreshold     int64
+	Shard            bool
+}
+
+// RegisterFlags declares every asimd flag on fs with its default and
+// usage text. Command asimd parses these straight into its Config;
+// docs_test walks the same registrations to enforce the operations
+// doc.
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Addr, "addr", ":8420", "listen address")
+	fs.IntVar(&f.Workers, "workers", 0, "engine worker goroutines per job (0 = GOMAXPROCS)")
+	fs.Int64Var(&f.Chunk, "chunk", 0, "cycle granularity of cancellation checks (0 = engine default)")
+	fs.IntVar(&f.Gang, "gang", 0, "gang width for lockstep execution (0 = adaptive per program, 1 disables)")
+	fs.IntVar(&f.Jobs, "jobs", 0, "concurrent job slots (0 = default 2)")
+	fs.IntVar(&f.Queue, "queue", 0, "jobs allowed to wait for a slot before 429 (0 = default 8)")
+	fs.IntVar(&f.MaxRuns, "max-runs", 0, "per-job run cap (0 = default 4096)")
+	fs.Int64Var(&f.MaxCycles, "max-cycles", 0, "per-run cycle cap (0 = default 1e8)")
+	fs.DurationVar(&f.Deadline, "deadline", 0, "default per-job deadline (0 = 60s)")
+	fs.DurationVar(&f.MaxDeadline, "max-deadline", 0, "cap on requested per-job deadlines (0 = 10m)")
+	fs.Int64Var(&f.MaxBody, "max-body", 0, "request body cap in bytes (0 = 1 MiB)")
+	fs.DurationVar(&f.WriteTimeout, "write-timeout", 0, "per-line stream write deadline; a non-reading client fails after this (0 = 30s)")
+	fs.StringVar(&f.StateDir, "state-dir", "", "durable job store directory; jobs survive restarts and dropped streams resume (empty = durability off)")
+	fs.Int64Var(&f.CheckpointCycles, "checkpoint-cycles", 0, "cycles between run state checkpoints, persisted to -state-dir and/or streamed to a coordinator (0 = default 65536)")
+	fs.BoolVar(&f.AOT, "aot", false, "enable ahead-of-time native workers for compiled-aot jobs above -aot-threshold")
+	fs.StringVar(&f.AOTDir, "aot-dir", "", "worker binary cache directory (default: a per-process temp dir)")
+	fs.Int64Var(&f.AOTThreshold, "aot-threshold", campaign.DefaultAOTThreshold, "campaign cycles x runs below which compiled-aot jobs stay in-process (0 = always use workers)")
+	fs.BoolVar(&f.Shard, "shard", false, "accept the cluster shard protocol (chunk-scoped jobs with streamed checkpoints) from an asimcoord coordinator")
+	return f
+}
+
+// Config assembles the service configuration the flags describe. The
+// AOT cache is the caller's to build (it may need a temp dir); the
+// engine's AOT fields are left for the caller to fill alongside it.
+func (f *Flags) Config() Config {
+	return Config{
+		Engine: campaign.Engine{Workers: f.Workers, Chunk: f.Chunk, GangSize: f.Gang,
+			Planner: &campaign.Planner{}, AOTThreshold: f.AOTThreshold},
+		MaxConcurrent:    f.Jobs,
+		MaxQueue:         f.Queue,
+		MaxRuns:          f.MaxRuns,
+		MaxCycles:        f.MaxCycles,
+		MaxBody:          f.MaxBody,
+		DefaultDeadline:  f.Deadline,
+		MaxDeadline:      f.MaxDeadline,
+		WriteTimeout:     f.WriteTimeout,
+		CheckpointCycles: f.CheckpointCycles,
+		ShardMode:        f.Shard,
+	}
+}

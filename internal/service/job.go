@@ -32,6 +32,63 @@ type JobRequest struct {
 	// Resume, when set, asks for a dropped stream's remainder instead
 	// of a new job; Spec and Scenario must be empty. See ResumeRequest.
 	Resume *ResumeRequest `json:"resume,omitempty"`
+
+	// The remaining fields are the cluster fabric's shard protocol
+	// (asimd -shard; a server without ShardMode rejects them with 400).
+	// A coordinator uses them to dispatch one partition of a campaign
+	// to this server and to warm-start re-dispatched work:
+
+	// Chunk selects a partition of the job's runs. The server builds
+	// the full run list exactly as it would without Chunk — building is
+	// deterministic — then executes only the selected runs, streaming
+	// and persisting their lines under their *global* indices, so a
+	// chunk's run lines are byte-identical to the same lines of an
+	// unchunked execution.
+	Chunk *ChunkRequest `json:"chunk,omitempty"`
+
+	// StreamCheckpoints interleaves CheckpointLine records into the
+	// NDJSON stream every CheckpointCycles simulated cycles and at each
+	// run's retirement — the coordinator's feed for warm-starting a
+	// failed shard's chunks elsewhere. Checkpoint lines are never
+	// persisted and do not count toward a resume token's delivered run
+	// lines.
+	StreamCheckpoints bool `json:"stream_checkpoints,omitempty"`
+
+	// Warm seeds listed runs from machine-state snapshots (previously
+	// streamed checkpoints) instead of power-on state. A snapshot that
+	// does not match its run degrades that run to a cold start — never
+	// wrong, just slower.
+	Warm []WarmEntry `json:"warm,omitempty"`
+}
+
+// ChunkRequest selects a partition of a job's runs: either the
+// contiguous range [Offset, Offset+Count) or, when Pick is non-empty,
+// an explicit set of global run indices (Pick overrides Offset/Count;
+// a re-dispatched chunk's unfinished remainder is rarely contiguous).
+type ChunkRequest struct {
+	Offset int   `json:"offset,omitempty"`
+	Count  int   `json:"count,omitempty"`
+	Pick   []int `json:"pick,omitempty"`
+}
+
+// WarmEntry is one run's warm-start seed: the snapshot bytes a
+// checkpoint line previously carried, the absolute cycle it was taken
+// at, and the run's global index.
+type WarmEntry struct {
+	Run   int    `json:"run"`
+	Cycle int64  `json:"cycle"`
+	State []byte `json:"state"`
+}
+
+// CheckpointLine is the NDJSON record interleaved into a chunk job's
+// stream when StreamCheckpoints is set: a run's latest machine-state
+// snapshot, fit to hand back as a WarmEntry. The leading Checkpoint
+// field discriminates it from RunLines (which never carry it).
+type CheckpointLine struct {
+	Checkpoint bool   `json:"checkpoint"`
+	Index      int    `json:"index"`
+	Cycle      int64  `json:"cycle"`
+	State      []byte `json:"state"`
 }
 
 // ResumeRequest is the resume token a client presents to pick a
@@ -54,7 +111,8 @@ type ResumeRequest struct {
 // under and whether the shared program cache already had it.
 type JobHeader struct {
 	Job        string `json:"job"`
-	Runs       int    `json:"runs"`
+	Runs       int    `json:"runs"`                 // runs this stream carries (the chunk's size for chunk jobs)
+	TotalRuns  int    `json:"total_runs,omitempty"` // full campaign size, set only for chunk jobs
 	Backend    string `json:"backend,omitempty"`
 	Scenario   string `json:"scenario,omitempty"`
 	SpecDigest string `json:"spec_digest,omitempty"`
@@ -107,10 +165,22 @@ type JobTrailer struct {
 }
 
 // job is an admitted unit of work: the built runs plus the header
-// line describing them.
+// line describing them. For chunk-scoped jobs, runs is the selected
+// partition and idx maps each engine index to the run's global index
+// in the full campaign (nil for ordinary jobs: identity).
 type job struct {
 	header JobHeader
 	runs   []campaign.Run
+	idx    []int
+}
+
+// global translates an engine run index to the job's stream index —
+// the index result lines, stored records and checkpoints all carry.
+func (j *job) global(i int) int {
+	if j.idx == nil {
+		return i
+	}
+	return j.idx[i]
 }
 
 // newJob validates a request and builds its runs under the id the
@@ -133,10 +203,74 @@ func (s *Server) newJob(id string, req JobRequest) (*job, error) {
 	if req.Runs < 0 || req.Cycles < 0 || req.DeadlineMS < 0 || req.Size < 0 || req.Seed < 0 {
 		return nil, errors.New("runs, cycles, seed, size and deadline_ms must be non-negative")
 	}
-	if req.Scenario != "" {
-		return s.newScenarioJob(id, req)
+	// The shard protocol is opt-in: a plain asimd must not let an
+	// arbitrary client partition jobs or pull machine-state bytes off
+	// the stream.
+	if !s.cfg.ShardMode && (req.Chunk != nil || req.StreamCheckpoints || len(req.Warm) > 0) {
+		return nil, errors.New("chunk, stream_checkpoints and warm are the cluster shard protocol; this server is not a shard (asimd -shard)")
 	}
-	return s.newSpecJob(id, req)
+	var j *job
+	var err error
+	if req.Scenario != "" {
+		j, err = s.newScenarioJob(id, req)
+	} else {
+		j, err = s.newSpecJob(id, req)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := j.partition(req); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// partition applies the request's chunk selection and warm-start
+// entries to a freshly built job. The full run list was built first —
+// deterministically, exactly as an unchunked job would — so the
+// partition's names, groups and cycle budgets are the global ones and
+// its results are byte-identical to the same slice of an unchunked
+// execution (campaign.Partition's contract).
+func (j *job) partition(req JobRequest) error {
+	if req.Chunk != nil {
+		c := req.Chunk
+		pick := c.Pick
+		if len(pick) == 0 {
+			if c.Count <= 0 || c.Offset < 0 || c.Offset+c.Count > len(j.runs) {
+				return fmt.Errorf("chunk [%d,%d) is outside the job's %d runs", c.Offset, c.Offset+c.Count, len(j.runs))
+			}
+			pick = campaign.Range(c.Offset, c.Count)
+		}
+		p, err := campaign.NewPartition(j.runs, pick)
+		if err != nil {
+			return fmt.Errorf("chunk: %v", err)
+		}
+		j.header.TotalRuns = len(j.runs)
+		j.header.Runs = len(p.Runs)
+		j.runs, j.idx = p.Runs, p.Index
+	}
+	if len(req.Warm) == 0 {
+		return nil
+	}
+	// Warm entries address runs by global index; entries outside the
+	// partition are a coordinator bug and rejected loudly. Snapshot
+	// validity, by contrast, degrades to a cold start at execution
+	// time (WarmStartFromState) — stale state must never 400 a
+	// re-dispatched chunk.
+	at := make(map[int]int, len(j.runs))
+	for i := range j.runs {
+		at[j.global(i)] = i
+	}
+	for _, w := range req.Warm {
+		i, ok := at[w.Run]
+		if !ok {
+			return fmt.Errorf("warm entry for run %d, which is not in this job's partition", w.Run)
+		}
+		if w.Cycle > 0 && w.Cycle <= j.runs[i].Cycles {
+			j.runs[i].Warm = campaign.WarmStartFromState(j.runs[i].Program, w.Cycle, w.State)
+		}
+	}
+	return nil
 }
 
 func (s *Server) newSpecJob(id string, req JobRequest) (*job, error) {

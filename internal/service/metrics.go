@@ -6,6 +6,7 @@ import "sync/atomic"
 // plain atomic so the hot path (one job) touches a handful of adds.
 type counters struct {
 	jobsAccepted     atomic.Int64
+	jobsChunked      atomic.Int64
 	jobsCompleted    atomic.Int64
 	jobsFailed       atomic.Int64
 	jobsRejected     atomic.Int64
@@ -26,6 +27,7 @@ type counters struct {
 // server's lifetime; JobsActive and QueueDepth are gauges.
 type Metrics struct {
 	JobsAccepted  int64 `json:"jobs_accepted"`  // admitted to run (after any queueing)
+	JobsChunked   int64 `json:"jobs_chunked"`   // admitted jobs that were chunk-scoped shard dispatches
 	JobsCompleted int64 `json:"jobs_completed"` // finished without an engine error
 	JobsFailed    int64 `json:"jobs_failed"`    // deadline exceeded or engine error
 	JobsRejected  int64 `json:"jobs_rejected"`  // 429: queue full
@@ -59,6 +61,7 @@ type Metrics struct {
 func (s *Server) Metrics() Metrics {
 	m := Metrics{
 		JobsAccepted:  s.met.jobsAccepted.Load(),
+		JobsChunked:   s.met.jobsChunked.Load(),
 		JobsCompleted: s.met.jobsCompleted.Load(),
 		JobsFailed:    s.met.jobsFailed.Load(),
 		JobsRejected:  s.met.jobsRejected.Load(),

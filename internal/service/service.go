@@ -94,8 +94,17 @@ type Config struct {
 
 	// CheckpointCycles is how often, in simulated cycles, an executing
 	// run's machine state is checkpointed into Store; <= 0 means
-	// 65536. Ignored without a Store.
+	// 65536. The same period drives streamed checkpoint lines for
+	// shard-mode chunk jobs. Ignored without a Store or ShardMode.
 	CheckpointCycles int64
+
+	// ShardMode accepts the cluster fabric's shard protocol
+	// (JobRequest.Chunk / StreamCheckpoints / Warm — see their docs):
+	// an asimcoord coordinator can dispatch campaign partitions to this
+	// server and pull checkpoint state off the stream. Off by default:
+	// the protocol exposes machine-state bytes and is meant for a
+	// coordinator, not arbitrary clients. asimd's -shard flag sets it.
+	ShardMode bool
 }
 
 func (c Config) maxConcurrent() int { return defInt(c.MaxConcurrent, 2) }
@@ -290,6 +299,9 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.met.jobsAccepted.Add(1)
+	if req.Chunk != nil {
+		s.met.jobsChunked.Add(1)
+	}
 	s.met.jobsActive.Add(1)
 	defer s.met.jobsActive.Add(-1)
 
@@ -317,8 +329,15 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	out.line(job.header)
 
 	eng := s.cfg.Engine
+	var cks []campaign.Checkpointer
 	if s.store != nil {
-		eng.Checkpoint = &storeCheckpointer{s: s, job: id}
+		cks = append(cks, &storeCheckpointer{s: s, job: id, idx: job.idx})
+	}
+	if req.StreamCheckpoints {
+		cks = append(cks, &streamCheckpointer{out: out, idx: job.idx})
+	}
+	if len(cks) > 0 {
+		eng.Checkpoint = joinCheckpointers(cks)
 		eng.CheckpointEvery = s.cfg.checkpointCycles()
 	}
 
@@ -331,6 +350,9 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 			// every line the client received has a stored record.
 			return
 		}
+		// Chunk jobs render, stream and persist under global indices:
+		// the line bytes must be the unchunked execution's.
+		res.Index = job.global(res.Index)
 		data, err := json.Marshal(ResultLine(res))
 		if err != nil {
 			out.fail(err)
@@ -376,7 +398,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	_ = out.rc.SetWriteDeadline(time.Time{})
 
 	// Everything delivered: the durable record served its purpose.
-	if execErr == nil && out.err == nil {
+	if execErr == nil && out.failed() == nil {
 		s.dropJob(id)
 	}
 }
@@ -387,7 +409,11 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 // after timeout instead of blocking the engine worker delivering it.
 // The first error latches and cancels the job's campaign — a client
 // that cannot receive results should not keep burning a job slot.
+// Writes are serialized by a mutex: result lines arrive through the
+// engine's (already serialized) delivery callback, but streamed
+// checkpoint lines come concurrently from worker goroutines.
 type lineWriter struct {
+	mu      sync.Mutex
 	w       http.ResponseWriter
 	rc      *http.ResponseController
 	timeout time.Duration
@@ -396,9 +422,6 @@ type lineWriter struct {
 }
 
 func (lw *lineWriter) line(v any) {
-	if lw.err != nil {
-		return
-	}
 	data, err := json.Marshal(v)
 	if err != nil {
 		lw.fail(err)
@@ -410,6 +433,8 @@ func (lw *lineWriter) line(v any) {
 // raw writes one pre-rendered line (no trailing newline) — the path
 // resumed streams use to replay stored lines byte-identically.
 func (lw *lineWriter) raw(data []byte) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
 	if lw.err != nil {
 		return
 	}
@@ -417,23 +442,39 @@ func (lw *lineWriter) raw(data []byte) {
 	// writes unbounded, as before.
 	_ = lw.rc.SetWriteDeadline(time.Now().Add(lw.timeout))
 	if _, err := lw.w.Write(data); err != nil {
-		lw.fail(err)
+		lw.failLocked(err)
 		return
 	}
 	if _, err := lw.w.Write([]byte{'\n'}); err != nil {
-		lw.fail(err)
+		lw.failLocked(err)
 		return
 	}
 	if err := lw.rc.Flush(); err != nil {
-		lw.fail(err)
+		lw.failLocked(err)
 	}
 }
 
 func (lw *lineWriter) fail(err error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	lw.failLocked(err)
+}
+
+func (lw *lineWriter) failLocked(err error) {
+	if lw.err != nil {
+		return
+	}
 	lw.err = err
 	if lw.cancel != nil {
 		lw.cancel()
 	}
+}
+
+// failed reports whether the stream has latched an error.
+func (lw *lineWriter) failed() error {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.err
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
