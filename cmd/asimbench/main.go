@@ -31,6 +31,7 @@ import (
 	"repro/internal/aot"
 	"repro/internal/campaign"
 	"repro/internal/machines"
+	"repro/internal/telemetry"
 )
 
 // Result is one timed configuration.
@@ -69,6 +70,21 @@ type Report struct {
 	AOTBuildSeconds    float64  `json:"aot_build_seconds"`
 	AOTBreakevenCycles int64    `json:"aot_breakeven_cycles"`
 	Results            []Result `json:"results"`
+
+	// Sections is each benchmark section's wall-clock time — the
+	// profile of the benchmark run itself (warmups, repetitions and
+	// cross-checks included), not of the simulator. PeakRSSBytes is the
+	// process's peak resident set (VmHWM), 0 where the platform does
+	// not expose it. Together they catch a benchmark suite that is
+	// quietly getting slower or hungrier between commits.
+	Sections     []Section `json:"sections"`
+	PeakRSSBytes int64     `json:"peak_rss_bytes"`
+}
+
+// Section is one timed region of the benchmark suite.
+type Section struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
 }
 
 func main() {
@@ -103,6 +119,14 @@ func main() {
 	rep.Go = runtime.Version()
 	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	rep.Short = *short
+
+	// endSection closes the current timed region; each call starts the
+	// next one where the last ended, so the sections tile the run.
+	sectionStart := time.Now()
+	endSection := func(name string) {
+		rep.Sections = append(rep.Sections, Section{Name: name, Seconds: time.Since(sectionStart).Seconds()})
+		sectionStart = time.Now()
+	}
 
 	specs := []struct {
 		name       string
@@ -160,6 +184,7 @@ func main() {
 	if fusedNs > 0 {
 		rep.FusedSpeedup = compiledNs / fusedNs
 	}
+	endSection("backends")
 
 	// The sieve compiled once: the campaign scaling fleet and the
 	// fleet-build comparison below both share this one program.
@@ -197,6 +222,7 @@ func main() {
 			CyclesPerS: sum.CyclesPerSec,
 		})
 	}
+	endSection("campaign-scaling")
 
 	// Gang execution: the Figure 5.1 fleet workload (identical
 	// 5545-cycle sieve runs of one compiled program) through the
@@ -274,6 +300,7 @@ func main() {
 		rep.Results = append(rep.Results, scalar, gang)
 		rep.GangSpeedup = scalar.NsPerCycle / gang.NsPerCycle
 	}
+	endSection("gang")
 
 	// Bit-parallel kernels: the 1-bit-heavy bit-mix fabric ganged at
 	// one plane word (64 lanes), against the identical fleet forced
@@ -310,6 +337,7 @@ func main() {
 		rep.Results = append(rep.Results, lane, bit)
 		rep.BitParallelSpeedup = lane.NsPerCycle / bit.NsPerCycle
 	}
+	endSection("bitparallel")
 
 	// Ahead-of-time native workers: the same Figure 5.1 sieve fleet
 	// through the engine's in-process fused path and through
@@ -369,6 +397,7 @@ func main() {
 			rep.AOTBreakevenCycles = int64(rep.AOTBuildSeconds * 1e9 / delta)
 		}
 	}
+	endSection("aot")
 
 	// Fleet build: many short runs, where how the machine comes to
 	// exist dominates how long it runs. The Program/State split's
@@ -440,6 +469,8 @@ func main() {
 	if pooledNs > 0 {
 		rep.FleetBuildSpeedup = perRunNs / pooledNs
 	}
+	endSection("fleetbuild")
+	rep.PeakRSSBytes = telemetry.PeakRSSBytes()
 
 	var w io.Writer = os.Stdout
 	if *out != "-" {

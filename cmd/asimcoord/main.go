@@ -20,6 +20,7 @@
 //
 //	curl localhost:8430/healthz
 //	curl localhost:8430/metrics
+//	curl 'localhost:8430/metrics?format=prometheus'
 //	curl localhost:8430/v1/shards
 package main
 
@@ -29,11 +30,13 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -44,7 +47,14 @@ func main() {
 		log.Fatal("usage: asimcoord [flags]; asimcoord -h lists them")
 	}
 
-	coord, err := cluster.New(f.Config())
+	logger, err := telemetry.NewLogger(os.Stderr, f.LogLevel, f.LogFormat)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := f.Config()
+	cfg.Log = logger
+	coord, err := cluster.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,20 +74,42 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("asimcoord: serving on %s, %d shard(s)", f.Addr, len(f.Config().Shards))
+	logger.Info("serving", "addr", f.Addr, "shards", len(cfg.Shards), "pprof", f.Pprof)
 
 	select {
 	case err := <-errc:
 		log.Fatal(err)
 	case <-ctx.Done():
 	}
-	log.Print("asimcoord: draining")
+	logger.Info("draining")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Fatal(err)
 	}
+	if f.TraceOut != "" {
+		if err := dumpTrace(f.TraceOut, coord.Tracer()); err != nil {
+			logger.Error("trace export failed", "path", f.TraceOut, "err", err)
+		} else {
+			logger.Info("trace exported", "path", f.TraceOut, "spans", coord.Tracer().Len())
+		}
+	}
 	m := coord.Metrics()
-	log.Printf("asimcoord: merged %d jobs (%d completed, %d failed), %d chunks dispatched, %d re-dispatched, %d runs",
-		m.JobsAccepted, m.JobsCompleted, m.JobsFailed, m.ChunksDispatched, m.ChunksRedispatched, m.RunsMerged)
+	logger.Info("merged",
+		"jobs", m.JobsAccepted, "completed", m.JobsCompleted, "failed", m.JobsFailed,
+		"chunks", m.ChunksDispatched, "redispatched", m.ChunksRedispatched, "runs", m.RunsMerged)
+}
+
+// dumpTrace writes the retained span ring as Chrome trace_event JSON,
+// loadable in chrome://tracing or Perfetto.
+func dumpTrace(path string, tr *telemetry.Tracer) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteChromeTrace(out, tr.Spans()); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }

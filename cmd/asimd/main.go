@@ -26,6 +26,7 @@
 //
 //	curl localhost:8420/healthz
 //	curl localhost:8420/metrics
+//	curl 'localhost:8420/metrics?format=prometheus'
 //	curl localhost:8420/v1/scenarios
 package main
 
@@ -43,6 +44,7 @@ import (
 	"repro/internal/aot"
 	"repro/internal/durable"
 	"repro/internal/service"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -51,6 +53,11 @@ func main() {
 	flag.Parse()
 	if flag.NArg() != 0 {
 		log.Fatal("usage: asimd [flags]; asimd -h lists them")
+	}
+
+	logger, err := telemetry.NewLogger(os.Stderr, f.LogLevel, f.LogFormat)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	var store durable.Store
@@ -79,15 +86,16 @@ func main() {
 			log.Fatal(err)
 		}
 		aotCache = c
-		log.Printf("asimd: aot worker cache at %s (threshold %d cycles)", dir, f.AOTThreshold)
+		logger.Info("aot worker cache ready", "dir", dir, "threshold", f.AOTThreshold)
 	}
 
 	cfg := f.Config()
 	cfg.Engine.AOT = aotCache
 	cfg.Store = store
+	cfg.Log = logger
 	srv := service.New(cfg)
 	if f.Shard {
-		log.Print("asimd: shard mode on (accepting coordinator chunk jobs)")
+		logger.Info("shard mode on (accepting coordinator chunk jobs)")
 	}
 
 	// Recovery precedes serving: incomplete jobs from the previous
@@ -99,7 +107,7 @@ func main() {
 			log.Fatal(err)
 		}
 		if n > 0 {
-			log.Printf("asimd: recovered %d interrupted job(s) from %s", n, f.StateDir)
+			logger.Info("recovered interrupted jobs", "n", n, "dir", f.StateDir)
 		}
 	}
 
@@ -117,20 +125,42 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("asimd: serving on %s", f.Addr)
+	logger.Info("serving", "addr", f.Addr, "pprof", f.Pprof)
 
 	select {
 	case err := <-errc:
 		log.Fatal(err)
 	case <-ctx.Done():
 	}
-	log.Print("asimd: draining")
+	logger.Info("draining")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Fatal(err)
 	}
+	if f.TraceOut != "" {
+		if err := dumpTrace(f.TraceOut, srv.Tracer()); err != nil {
+			logger.Error("trace export failed", "path", f.TraceOut, "err", err)
+		} else {
+			logger.Info("trace exported", "path", f.TraceOut, "spans", srv.Tracer().Len())
+		}
+	}
 	m := srv.Metrics()
-	log.Printf("asimd: served %d jobs (%d completed, %d failed, %d rejected), %d runs, %d cycles",
-		m.JobsAccepted, m.JobsCompleted, m.JobsFailed, m.JobsRejected, m.RunsTotal, m.CyclesTotal)
+	logger.Info("served",
+		"jobs", m.JobsAccepted, "completed", m.JobsCompleted, "failed", m.JobsFailed,
+		"rejected", m.JobsRejected, "runs", m.RunsTotal, "cycles", m.CyclesTotal)
+}
+
+// dumpTrace writes the retained span ring as Chrome trace_event JSON,
+// loadable in chrome://tracing or Perfetto.
+func dumpTrace(path string, tr *telemetry.Tracer) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteChromeTrace(out, tr.Spans()); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }

@@ -29,6 +29,7 @@ import (
 	"repro/internal/aot"
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 type report struct {
@@ -63,6 +64,7 @@ func main() {
 	useAOT := flag.Bool("aot", false, "enable ahead-of-time native workers for compiled-aot runs above -aot-threshold")
 	aotDir := flag.String("aot-dir", "", "worker binary cache directory (default: a per-process temp dir)")
 	aotThreshold := flag.Int64("aot-threshold", campaign.DefaultAOTThreshold, "campaign cycles x runs below which compiled-aot runs stay in-process (0 = always use workers)")
+	traceOut := flag.String("trace-out", "", "write per-dispatch engine spans as Chrome trace_event JSON to this file on exit (open in chrome://tracing or Perfetto)")
 	flag.Parse()
 
 	if *list {
@@ -115,6 +117,11 @@ func main() {
 		defer cancel()
 	}
 
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		tracer = telemetry.NewTracer(1 << 16)
+	}
+
 	var reports []report
 	exit := 0
 	for _, name := range names {
@@ -125,6 +132,16 @@ func main() {
 		runs, err := s.Build(params)
 		if err != nil {
 			log.Fatalf("scenario %s: %v", name, err)
+		}
+		if tracer != nil {
+			trace, job := telemetry.NewTraceID(), name
+			eng.Observe = func(_ context.Context, d campaign.Dispatch) {
+				tracer.Record(telemetry.Span{
+					Trace: trace, Job: job, Name: "engine." + d.Rung,
+					StartUS: d.Start.UnixMicro(), DurUS: d.Dur.Microseconds(),
+					Rung: d.Rung, Runs: d.Runs, Lanes: d.Runs, Cycles: d.Cycles,
+				})
+			}
 		}
 		t0 := time.Now()
 		results, err := eng.Execute(ctx, runs)
@@ -173,6 +190,18 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(reports); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if tracer != nil {
+		out, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := telemetry.WriteChromeTrace(out, tracer.Spans()); err != nil {
+			log.Fatal(err)
+		}
+		if err := out.Close(); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/service"
+	"repro/internal/telemetry"
 )
 
 // docSnippet is one fenced code block extracted from a markdown file.
@@ -181,19 +182,29 @@ func TestOperationsFlagCoverage(t *testing.T) {
 	}
 }
 
-// TestOperationsMetricsCoverage requires every JSON counter either
+// TestOperationsMetricsCoverage requires every JSON field either
 // daemon serves at /metrics — including the coordinator's per-shard
-// books — to appear in docs/OPERATIONS.md's glossary as `tag`.
+// books, the nested histogram shapes, and the trace span fields
+// served at /v1/trace — to appear in docs/OPERATIONS.md as `tag`.
+// The walk recurses into nested structs (histograms and their
+// buckets) so new telemetry shapes cannot ship undocumented.
 func TestOperationsMetricsCoverage(t *testing.T) {
 	data, err := os.ReadFile("docs/OPERATIONS.md")
 	if err != nil {
 		t.Fatal(err)
 	}
 	doc := string(data)
-	for _, m := range []interface{}{service.Metrics{}, cluster.Metrics{}, cluster.ShardMetrics{}} {
-		rt := reflect.TypeOf(m)
+	var walk func(rt reflect.Type)
+	walk = func(rt reflect.Type) {
+		for rt.Kind() == reflect.Ptr || rt.Kind() == reflect.Slice {
+			rt = rt.Elem()
+		}
+		if rt.Kind() != reflect.Struct {
+			return
+		}
 		for i := 0; i < rt.NumField(); i++ {
-			tag := rt.Field(i).Tag.Get("json")
+			f := rt.Field(i)
+			tag := f.Tag.Get("json")
 			if comma := strings.IndexByte(tag, ','); comma >= 0 {
 				tag = tag[:comma]
 			}
@@ -201,8 +212,14 @@ func TestOperationsMetricsCoverage(t *testing.T) {
 				continue
 			}
 			if !strings.Contains(doc, "`"+tag+"`") {
-				t.Errorf("docs/OPERATIONS.md glossary is missing %s.%s counter `%s`", rt.Name(), rt.Field(i).Name, tag)
+				t.Errorf("docs/OPERATIONS.md glossary is missing %s.%s field `%s`", rt.Name(), f.Name, tag)
 			}
+			walk(f.Type)
 		}
+	}
+	for _, m := range []interface{}{
+		service.Metrics{}, cluster.Metrics{}, cluster.ShardMetrics{}, telemetry.Span{},
+	} {
+		walk(reflect.TypeOf(m))
 	}
 }

@@ -181,6 +181,41 @@ type Engine struct {
 	// `go build` amortizes). <= 0 dispatches every eligible program;
 	// CLI surfaces default to DefaultAOTThreshold.
 	AOTThreshold int64
+
+	// Observe, when non-nil, receives one Dispatch record per executed
+	// dispatch unit — a gang, a scalar run, or an AOT span — tagged
+	// with the rung of the dispatch ladder it resolved to. The serving
+	// layer hangs tracing and per-rung metering off this. Calls come
+	// concurrently from worker goroutines (implementations synchronize
+	// themselves) with the context ExecuteStream was given, so a trace
+	// id carried in ctx reaches every record. A nil Observe costs one
+	// branch per dispatch unit and nothing per cycle; it never changes
+	// results.
+	Observe func(ctx context.Context, d Dispatch)
+}
+
+// Dispatch ladder rungs, as reported in Dispatch.Rung. An AOT unit
+// that degrades in-process mid-dispatch still reports RungAOT — the
+// routing decision is what's being observed; fallbacks are counted on
+// the AOT cache's own meter.
+const (
+	RungAOT         = "aot"          // generated native subprocess worker
+	RungBitParallel = "bit-parallel" // gang over 64-lane bit planes
+	RungLaneLoop    = "lane-loop"    // struct-of-arrays lane-loop gang
+	RungScalar      = "scalar"       // pooled scalar machine
+)
+
+// Rungs lists every dispatch rung in ladder order, for meters that
+// pre-size per-rung series.
+var Rungs = []string{RungAOT, RungBitParallel, RungLaneLoop, RungScalar}
+
+// Dispatch describes one executed dispatch unit for Engine.Observe.
+type Dispatch struct {
+	Rung   string        // resolved rung (RungAOT, RungBitParallel, ...)
+	Runs   int           // runs in the unit: gang lanes, or 1 on the scalar rung
+	Cycles int64         // simulated cycles the unit actually executed
+	Start  time.Time     // when the unit began executing
+	Dur    time.Duration // wall time the unit took
 }
 
 // DefaultAOTThreshold is the cycles×runs floor CLI surfaces use for
@@ -479,12 +514,34 @@ func (e Engine) ExecuteStream(ctx context.Context, runs []Run, onResult func(Res
 			defer w.closeProcs()
 			for s := range jobs {
 				idxs := p.order[s.lo:s.hi]
+				var start time.Time
+				if e.Observe != nil {
+					start = time.Now()
+				}
+				var rung string
 				if p.aotEligible(idxs, runs) {
+					rung = RungAOT
 					e.execAOT(ctx, w, idxs, runs, results)
 				} else if len(idxs) == 1 {
+					rung = RungScalar
 					results[idxs[0]] = e.exec(ctx, w, idxs[0], runs[idxs[0]])
 				} else {
+					if runs[idxs[0]].Program.BitGangCapable() {
+						rung = RungBitParallel
+					} else {
+						rung = RungLaneLoop
+					}
 					e.execGang(ctx, w, idxs, runs, results)
+				}
+				if e.Observe != nil {
+					var cycles int64
+					for _, i := range idxs {
+						cycles += results[i].Cycles
+					}
+					e.Observe(ctx, Dispatch{
+						Rung: rung, Runs: len(idxs), Cycles: cycles,
+						Start: start, Dur: time.Since(start),
+					})
 				}
 				emit(idxs)
 			}

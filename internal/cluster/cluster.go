@@ -33,6 +33,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -41,6 +42,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/service"
+	"repro/internal/telemetry"
 )
 
 // Config parameterizes a Coordinator. Shards is required; the zero
@@ -107,7 +109,22 @@ type Config struct {
 	// Client, when non-nil, carries chunk streams (tests inject
 	// failure here); nil uses a default streaming client.
 	Client *http.Client
+
+	// Tracer receives the coordinator's spans (admit, plan, chunk
+	// dispatches, whole jobs); nil makes a private bounded ring of
+	// DefaultTraceSpans. Spans are served by GET /v1/trace/{job}.
+	Tracer *telemetry.Tracer
+
+	// Log receives structured operational logs; nil discards them.
+	Log *slog.Logger
+
+	// Pprof mounts net/http/pprof handlers under /debug/pprof/.
+	Pprof bool
 }
+
+// DefaultTraceSpans is the trace ring capacity when Config.Tracer is
+// nil.
+const DefaultTraceSpans = 8192
 
 func (c Config) chunkRuns() int                 { return defInt(c.ChunkRuns, 64) }
 func (c Config) maxConcurrent() int             { return defInt(c.MaxConcurrent, 2) }
@@ -172,6 +189,15 @@ type Coordinator struct {
 	jobSeq atomic.Int64
 	met    counters
 
+	tracer *telemetry.Tracer
+	log    *slog.Logger
+	start  time.Time
+
+	jobLatency   *telemetry.Histogram
+	chunkLatency *telemetry.Histogram
+	queueWait    *telemetry.Histogram
+	writeStall   *telemetry.Histogram
+
 	stop     chan struct{}
 	stopOnce sync.Once
 }
@@ -188,6 +214,20 @@ func New(cfg Config) (*Coordinator, error) {
 		slots:  make(chan struct{}, cfg.maxConcurrent()),
 		jobs:   map[string]*coordJob{},
 		stop:   make(chan struct{}),
+
+		tracer:       cfg.Tracer,
+		log:          cfg.Log,
+		start:        time.Now(),
+		jobLatency:   telemetry.NewHistogram(telemetry.LatencyBuckets()...),
+		chunkLatency: telemetry.NewHistogram(telemetry.LatencyBuckets()...),
+		queueWait:    telemetry.NewHistogram(telemetry.LatencyBuckets()...),
+		writeStall:   telemetry.NewHistogram(telemetry.LatencyBuckets()...),
+	}
+	if c.tracer == nil {
+		c.tracer = telemetry.NewTracer(DefaultTraceSpans)
+	}
+	if c.log == nil {
+		c.log = slog.New(slog.DiscardHandler)
 	}
 	seen := map[string]bool{}
 	for _, raw := range cfg.Shards {
@@ -218,10 +258,17 @@ func New(cfg Config) (*Coordinator, error) {
 	c.mux.HandleFunc("GET /v1/shards", c.handleShards)
 	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
 	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
+	c.mux.HandleFunc("GET /v1/trace/{job}", c.handleTrace)
+	if cfg.Pprof {
+		telemetry.RegisterPprof(c.mux)
+	}
 
 	go c.probeLoop()
 	return c, nil
 }
+
+// Tracer exposes the coordinator's span ring (for -trace-out dumps).
+func (c *Coordinator) Tracer() *telemetry.Tracer { return c.tracer }
 
 // Close stops the health prober. In-flight jobs finish on their own.
 func (c *Coordinator) Close() { c.stopOnce.Do(func() { close(c.stop) }) }
@@ -249,8 +296,30 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", telemetry.ContentType)
+		_, _ = w.Write(c.PromMetrics())
+		return
+	}
 	writeJSON(w, http.StatusOK, c.Metrics())
+}
+
+// handleTrace serves the spans the coordinator recorded for one job
+// as NDJSON. The path accepts either the coordinator's job id or the
+// fabric-wide trace id; the same trace id queried on a shard returns
+// that shard's half of the story.
+func (c *Coordinator) handleTrace(w http.ResponseWriter, r *http.Request) {
+	spans := c.tracer.ForJob(r.PathValue("job"))
+	if len(spans) == 0 {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no spans for that job or trace id"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for _, sp := range spans {
+		_ = enc.Encode(sp)
+	}
 }
 
 // handleShards is the operator's routing-table view: the per-shard
@@ -279,6 +348,7 @@ func (c *Coordinator) handleScenarios(w http.ResponseWriter, _ *http.Request) {
 // the shard-protocol fields are the coordinator's to send, not to
 // receive.
 func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
+	arrived := time.Now()
 	var req service.JobRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, c.cfg.maxBody()))
 	dec.DisallowUnknownFields()
@@ -304,6 +374,14 @@ func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The fabric-wide trace id: honor the client's, mint one
+	// otherwise. It rides every chunk dispatch as X-Asim-Trace, so the
+	// shards' spans join the coordinator's under one id.
+	trace := r.Header.Get(telemetry.TraceHeader)
+	if trace == "" {
+		trace = telemetry.NewTraceID()
+	}
+
 	// Admission mirrors asimd: slot, bounded queue, then 429.
 	select {
 	case c.slots <- struct{}{}:
@@ -311,6 +389,7 @@ func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
 		if c.queued.Add(1) > int64(c.cfg.maxQueue()) {
 			c.queued.Add(-1)
 			c.met.jobsRejected.Add(1)
+			c.log.Warn("job rejected", "reason", "queue full", "trace", trace)
 			w.Header().Set("Retry-After", "1")
 			writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "queue full"})
 			return
@@ -324,20 +403,28 @@ func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	c.queueWait.Observe(time.Since(arrived).Seconds())
 
 	id := fmt.Sprintf("c%d", c.jobSeq.Add(1))
+	c.tracer.Record(telemetry.Timed(telemetry.Span{Trace: trace, Job: id, Name: "admit"}, arrived))
+	planStart := time.Now()
 	p, err := c.planJob(id, req)
 	if err != nil {
 		<-c.slots
 		c.met.jobsBad.Add(1)
+		c.tracer.Record(telemetry.Timed(telemetry.Span{Trace: trace, Job: id, Name: "plan", Err: err.Error()}, planStart))
+		c.log.Warn("job plan failed", "job", id, "trace", trace, "err", err)
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
-	j := newCoordJob(p, c.ring.prefer(p.key))
+	c.tracer.Record(telemetry.Timed(telemetry.Span{Trace: trace, Job: id, Name: "plan", Runs: p.n}, planStart))
+	j := newCoordJob(p, c.ring.prefer(p.key), trace)
 	c.jobMu.Lock()
 	c.jobs[id] = j
 	c.jobMu.Unlock()
 	c.met.jobsAccepted.Add(1)
+	c.log.Debug("job admitted", "job", id, "trace", trace, "runs", p.n, "home", j.pref[0].url)
+	w.Header().Set(telemetry.TraceHeader, trace)
 
 	// The merge runs detached, holding the slot; this handler is just
 	// the job's first follower.
@@ -375,6 +462,7 @@ func (c *Coordinator) handleResume(w http.ResponseWriter, r *http.Request, req s
 		return
 	}
 	c.met.jobsResumed.Add(1)
+	w.Header().Set(telemetry.TraceHeader, j.trace)
 	c.follow(w, r, j, rr.Delivered, true)
 }
 
@@ -398,6 +486,7 @@ type lineWriter struct {
 	w       http.ResponseWriter
 	rc      *http.ResponseController
 	timeout time.Duration
+	stall   *telemetry.Histogram // per-line write+flush time; nil = unmetered
 	err     error
 }
 
@@ -413,6 +502,10 @@ func (lw *lineWriter) line(v any) {
 func (lw *lineWriter) raw(data []byte) {
 	if lw.err != nil {
 		return
+	}
+	if lw.stall != nil {
+		start := time.Now()
+		defer func() { lw.stall.ObserveSince(start) }()
 	}
 	_ = lw.rc.SetWriteDeadline(time.Now().Add(lw.timeout))
 	if _, err := lw.w.Write(data); err != nil {

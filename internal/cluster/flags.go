@@ -27,6 +27,10 @@ type Flags struct {
 	ShardInflight int
 	Retries       int
 	RetainJobs    int
+	Pprof         bool
+	TraceOut      string
+	LogLevel      string
+	LogFormat     string
 }
 
 // RegisterFlags declares every asimcoord flag on fs with its default
@@ -50,6 +54,10 @@ func RegisterFlags(fs *flag.FlagSet) *Flags {
 	fs.IntVar(&f.ShardInflight, "shard-inflight", 0, "chunks streaming from one shard at once; match the shard's -jobs (0 = default 2)")
 	fs.IntVar(&f.Retries, "retries", 0, "re-dispatch attempts for a chunk's undelivered runs after a failed stream (0 = default 3)")
 	fs.IntVar(&f.RetainJobs, "retain-jobs", 0, "finished jobs kept in memory for resume (0 = default 16)")
+	fs.BoolVar(&f.Pprof, "pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write the retained trace spans as Chrome trace_event JSON to this file on shutdown (open in chrome://tracing or Perfetto)")
+	fs.StringVar(&f.LogLevel, "log-level", "info", "structured log level: debug, info, warn or error")
+	fs.StringVar(&f.LogFormat, "log-format", "text", "structured log format: text or json")
 	return f
 }
 
@@ -78,5 +86,6 @@ func (f *Flags) Config() Config {
 		ShardInflight:   f.ShardInflight,
 		Retries:         f.Retries,
 		RetainJobs:      f.RetainJobs,
+		Pprof:           f.Pprof,
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/service"
+	"repro/internal/telemetry"
 )
 
 // plan is an admitted job before any chunk is dispatched: the
@@ -163,6 +164,7 @@ type coordJob struct {
 	header service.JobHeader
 	req    service.JobRequest
 	pref   []*shard // ring preference order for the job's route key
+	trace  string   // fabric-wide trace id, propagated to every chunk
 
 	mu      sync.Mutex
 	lines   [][]byte // merged run lines, indexed globally; nil = undelivered
@@ -173,11 +175,12 @@ type coordJob struct {
 	notify  chan struct{}
 }
 
-func newCoordJob(p *plan, pref []*shard) *coordJob {
+func newCoordJob(p *plan, pref []*shard, trace string) *coordJob {
 	return &coordJob{
 		header: p.header,
 		req:    p.req,
 		pref:   pref,
+		trace:  trace,
 		lines:  make([][]byte, p.n),
 		warm:   map[int]service.WarmEntry{},
 		notify: make(chan struct{}),
@@ -272,6 +275,7 @@ func (c *Coordinator) runJob(j *coordJob) {
 	defer func() { <-c.slots }()
 	c.met.jobsActive.Add(1)
 	defer c.met.jobsActive.Add(-1)
+	t0 := time.Now()
 
 	deadline := c.cfg.defaultDeadline()
 	if j.req.DeadlineMS > 0 {
@@ -282,6 +286,7 @@ func (c *Coordinator) runJob(j *coordJob) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), deadline)
 	defer cancel()
+	ctx = telemetry.WithTrace(ctx, j.trace)
 
 	j.pref[0].jobsRouted.Add(1)
 
@@ -331,12 +336,24 @@ func (c *Coordinator) runJob(j *coordJob) {
 	}
 	j.mu.Unlock()
 	tr := service.JobTrailer{Done: true, Summary: campaign.Summarize(results, 0)}
+	outcome := "completed"
 	if execErr != nil {
 		tr.Err = execErr.Error()
 		c.met.jobsFailed.Add(1)
+		outcome = "failed"
 	} else {
 		c.met.jobsCompleted.Add(1)
 	}
+	dur := time.Since(t0)
+	c.met.busyNanos.Add(dur.Nanoseconds())
+	c.jobLatency.Observe(dur.Seconds())
+	sp := telemetry.Span{Trace: j.trace, Job: j.header.Job, Name: "job", Runs: j.n()}
+	if execErr != nil {
+		sp.Err = execErr.Error()
+	}
+	c.tracer.Record(telemetry.Timed(sp, t0))
+	c.log.Info("job finished", "job", j.header.Job, "trace", j.trace,
+		"outcome", outcome, "runs", j.n(), "dur", dur)
 	j.finish(tr)
 	c.retire(j.header.Job)
 }
@@ -363,11 +380,21 @@ func (c *Coordinator) runChunk(ctx context.Context, j *coordJob, pick []int) err
 		if attempt > 0 {
 			sh.chunksRedispatched.Add(1)
 			c.met.chunksRedispatched.Add(1)
+			c.log.Warn("chunk redispatched", "job", j.header.Job, "trace", j.trace,
+				"shard", sh.url, "attempt", attempt+1, "runs", len(pick))
 		}
 		sh.chunksDispatched.Add(1)
 		c.met.chunksDispatched.Add(1)
+		start := time.Now()
 		err = c.streamChunk(ctx, sh, j, pick)
 		sh.release()
+		c.chunkLatency.ObserveSince(start)
+		sp := telemetry.Span{Trace: j.trace, Job: j.header.Job, Name: "chunk",
+			Shard: sh.url, Attempt: attempt + 1, Runs: len(pick)}
+		if err != nil {
+			sp.Err = err.Error()
+		}
+		c.tracer.Record(telemetry.Timed(sp, start))
 
 		left := j.undelivered(pick)
 		if len(left) == 0 {
@@ -437,6 +464,7 @@ func (c *Coordinator) streamChunk(ctx context.Context, sh *shard, j *coordJob, p
 		return transportError{err}
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(telemetry.TraceHeader, j.trace)
 	resp, err := c.client.Do(hreq)
 	if err != nil {
 		return transportError{err}
@@ -506,7 +534,7 @@ func (c *Coordinator) streamChunk(ctx context.Context, sh *shard, j *coordJob, p
 func (c *Coordinator) follow(w http.ResponseWriter, r *http.Request, j *coordJob, from int, resumed bool) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Job-Id", j.header.Job)
-	out := &lineWriter{w: w, rc: http.NewResponseController(w), timeout: c.cfg.writeTimeout()}
+	out := &lineWriter{w: w, rc: http.NewResponseController(w), timeout: c.cfg.writeTimeout(), stall: c.writeStall}
 	hdr := j.header
 	hdr.Resumed = resumed
 	out.line(hdr)

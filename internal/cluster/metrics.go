@@ -1,6 +1,11 @@
 package cluster
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
 
 // counters is the coordinator's internal metric state, all atomics.
 type counters struct {
@@ -16,6 +21,7 @@ type counters struct {
 	chunksCompleted    atomic.Int64
 	chunksRedispatched atomic.Int64
 	runsMerged         atomic.Int64
+	busyNanos          atomic.Int64
 }
 
 // ShardMetrics is one worker's slice of the coordinator's books.
@@ -48,6 +54,27 @@ type Metrics struct {
 	ChunksRedispatched int64 `json:"chunks_redispatched"` // failover re-dispatches of a chunk's undelivered runs
 	RunsMerged         int64 `json:"runs_merged"`         // run lines merged into client streams
 
+	// BusySeconds sums per-job merge wall-clock; UptimeSeconds is how
+	// long the coordinator has been up; Utilization is BusySeconds /
+	// (UptimeSeconds x job slots) — the fraction of the coordinator's
+	// merge capacity that has been driving campaigns.
+	BusySeconds   float64 `json:"busy_seconds"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Utilization   float64 `json:"utilization"`
+
+	// Latency histograms (seconds): full job merge latency, one chunk
+	// dispatch attempt's stream, time jobs waited for a slot, and
+	// per-line merged-stream write stalls.
+	JobLatency   telemetry.HistogramSnapshot `json:"job_latency_seconds"`
+	ChunkLatency telemetry.HistogramSnapshot `json:"chunk_latency_seconds"`
+	QueueWait    telemetry.HistogramSnapshot `json:"queue_wait_seconds"`
+	WriteStall   telemetry.HistogramSnapshot `json:"write_stall_seconds"`
+
+	// Trace ring occupancy: spans currently retained and spans evicted
+	// since startup (the ring is bounded).
+	TraceSpans   int64 `json:"trace_spans"`
+	TraceDropped int64 `json:"trace_dropped"`
+
 	ShardsHealthy int            `json:"shards_healthy"` // gauge: shards currently routable
 	Shards        []ShardMetrics `json:"shards"`         // per-shard books, in configuration order
 }
@@ -69,6 +96,20 @@ func (c *Coordinator) Metrics() Metrics {
 		ChunksCompleted:    c.met.chunksCompleted.Load(),
 		ChunksRedispatched: c.met.chunksRedispatched.Load(),
 		RunsMerged:         c.met.runsMerged.Load(),
+
+		BusySeconds: float64(c.met.busyNanos.Load()) / 1e9,
+
+		JobLatency:   c.jobLatency.Snapshot(),
+		ChunkLatency: c.chunkLatency.Snapshot(),
+		QueueWait:    c.queueWait.Snapshot(),
+		WriteStall:   c.writeStall.Snapshot(),
+
+		TraceSpans:   int64(c.tracer.Len()),
+		TraceDropped: c.tracer.Dropped(),
+	}
+	m.UptimeSeconds = time.Since(c.start).Seconds()
+	if capacity := m.UptimeSeconds * float64(c.cfg.maxConcurrent()); capacity > 0 {
+		m.Utilization = m.BusySeconds / capacity
 	}
 	for _, sh := range c.shards {
 		healthy := sh.isHealthy()
@@ -86,4 +127,61 @@ func (c *Coordinator) Metrics() Metrics {
 		})
 	}
 	return m
+}
+
+// PromMetrics renders the same snapshot as a Prometheus text
+// exposition (served by GET /metrics?format=prometheus). The JSON's
+// per-shard slice becomes one family per book, labeled by shard URL.
+func (c *Coordinator) PromMetrics() []byte {
+	m := c.Metrics()
+	var p telemetry.Prom
+	p.Counter("asimcoord_jobs_accepted_total", "Jobs admitted to run (after any queueing).", float64(m.JobsAccepted))
+	p.Counter("asimcoord_jobs_completed_total", "Jobs merged to completion, every run delivered.", float64(m.JobsCompleted))
+	p.Counter("asimcoord_jobs_failed_total", "Jobs that exceeded their deadline or exhausted chunk retries.", float64(m.JobsFailed))
+	p.Counter("asimcoord_jobs_rejected_total", "Jobs rejected with 429 (queue full).", float64(m.JobsRejected))
+	p.Counter("asimcoord_jobs_abandoned_total", "Merged streams whose client disconnected (job finishes; resumable).", float64(m.JobsAbandoned))
+	p.Counter("asimcoord_jobs_bad_total", "Malformed or over-limit requests (400/413).", float64(m.JobsBad))
+	p.Counter("asimcoord_jobs_resumed_total", "Resume streams served from the merge buffer.", float64(m.JobsResumed))
+	p.Gauge("asimcoord_jobs_active", "Jobs merging right now.", float64(m.JobsActive))
+	p.Gauge("asimcoord_queue_depth", "Jobs waiting for a slot.", float64(m.QueueDepth))
+	p.Counter("asimcoord_chunks_dispatched_total", "Chunk streams opened across all shards.", float64(m.ChunksDispatched))
+	p.Counter("asimcoord_chunks_completed_total", "Chunks whose runs were all delivered.", float64(m.ChunksCompleted))
+	p.Counter("asimcoord_chunks_redispatched_total", "Failover re-dispatches of a chunk's undelivered runs.", float64(m.ChunksRedispatched))
+	p.Counter("asimcoord_runs_merged_total", "Run lines merged into client streams.", float64(m.RunsMerged))
+	p.Counter("asimcoord_busy_seconds_total", "Summed per-job merge wall-clock time.", m.BusySeconds)
+	p.Gauge("asimcoord_uptime_seconds", "Seconds since the coordinator started.", m.UptimeSeconds)
+	p.Gauge("asimcoord_utilization", "busy_seconds / (uptime x job slots).", m.Utilization)
+	p.Histogram("asimcoord_job_latency_seconds", "Full job merge latency, admission to trailer.", m.JobLatency)
+	p.Histogram("asimcoord_chunk_latency_seconds", "One chunk dispatch attempt's stream duration.", m.ChunkLatency)
+	p.Histogram("asimcoord_queue_wait_seconds", "Time jobs waited for a slot.", m.QueueWait)
+	p.Histogram("asimcoord_write_stall_seconds", "Per-line merged-stream write+flush time.", m.WriteStall)
+	p.Gauge("asimcoord_trace_spans", "Spans retained in the trace ring.", float64(m.TraceSpans))
+	p.Counter("asimcoord_trace_dropped_total", "Spans evicted from the trace ring.", float64(m.TraceDropped))
+	p.Gauge("asimcoord_shards_healthy", "Shards currently routable.", float64(m.ShardsHealthy))
+
+	healthy := make([]telemetry.LabeledValue, len(m.Shards))
+	routed := make([]telemetry.LabeledValue, len(m.Shards))
+	dispatched := make([]telemetry.LabeledValue, len(m.Shards))
+	completed := make([]telemetry.LabeledValue, len(m.Shards))
+	redispatched := make([]telemetry.LabeledValue, len(m.Shards))
+	failures := make([]telemetry.LabeledValue, len(m.Shards))
+	for i, sh := range m.Shards {
+		h := 0.0
+		if sh.Healthy {
+			h = 1
+		}
+		healthy[i] = telemetry.LabeledValue{Label: sh.URL, V: h}
+		routed[i] = telemetry.LabeledValue{Label: sh.URL, V: float64(sh.JobsRouted)}
+		dispatched[i] = telemetry.LabeledValue{Label: sh.URL, V: float64(sh.ChunksDispatched)}
+		completed[i] = telemetry.LabeledValue{Label: sh.URL, V: float64(sh.ChunksCompleted)}
+		redispatched[i] = telemetry.LabeledValue{Label: sh.URL, V: float64(sh.ChunksRedispatched)}
+		failures[i] = telemetry.LabeledValue{Label: sh.URL, V: float64(sh.Failures)}
+	}
+	p.GaugeVec("asimcoord_shard_healthy", "Whether the shard is currently routable (1) or not (0).", "shard", healthy)
+	p.CounterVec("asimcoord_shard_jobs_routed_total", "Jobs whose home (first-preference) shard this is.", "shard", routed)
+	p.CounterVec("asimcoord_shard_chunks_dispatched_total", "Chunk streams opened against the shard.", "shard", dispatched)
+	p.CounterVec("asimcoord_shard_chunks_completed_total", "Chunks the shard delivered completely.", "shard", completed)
+	p.CounterVec("asimcoord_shard_chunks_redispatched_total", "Chunks the shard picked up after another shard failed them.", "shard", redispatched)
+	p.CounterVec("asimcoord_shard_failures_total", "The shard's failed dispatch attempts.", "shard", failures)
+	return p.Bytes()
 }

@@ -1,0 +1,231 @@
+// End-to-end telemetry across the fabric: one trace id covering the
+// coordinator's admit/plan/chunk/job spans AND the shards' own
+// admit/compile/engine spans, queryable from every node by that one
+// id; and the Prometheus expositions of both tiers passing the strict
+// format validator, with per-shard labeled series on the coordinator.
+package cluster_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/cluster"
+	"repro/internal/machines"
+	"repro/internal/service"
+	"repro/internal/telemetry"
+)
+
+// getSpans fetches /v1/trace/{id} from any node and decodes the
+// NDJSON spans; a 404 returns nil (that node saw nothing of the job).
+func getSpans(t *testing.T, url, id string) []telemetry.Span {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/trace/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s/v1/trace/%s: status %d", url, id, resp.StatusCode)
+	}
+	var spans []telemetry.Span
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var sp telemetry.Span
+		if err := json.Unmarshal(sc.Bytes(), &sp); err != nil {
+			t.Fatalf("span line %q: %v", sc.Text(), err)
+		}
+		spans = append(spans, sp)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return spans
+}
+
+// TestClusterTraceCoherence: a job posted to a two-shard cluster under
+// a client-chosen trace id yields one coherent story — the coordinator
+// records admit, plan, per-attempt chunk spans naming real shards, and
+// the job span; the shards record their halves (admission, compile,
+// rung-tagged engine dispatches) under the SAME id, reachable on each
+// shard by that fabric-wide id even though shard-local job ids differ.
+func TestClusterTraceCoherence(t *testing.T) {
+	sh1, sh2 := newShardServer(t), newShardServer(t)
+	coord := newCoordServer(t, cluster.Config{
+		Shards:    []string{sh1.URL, sh2.URL},
+		ChunkRuns: 4,
+	})
+	src, err := machines.SieveSpec(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const trace = "cafef00dcafef00d"
+	body, err := json.Marshal(service.JobRequest{Spec: src, Runs: 12, Cycles: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, coord.URL+"/v1/jobs", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(telemetry.TraceHeader, trace)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, msg)
+	}
+	if got := resp.Header.Get(telemetry.TraceHeader); got != trace {
+		t.Errorf("response %s = %q, want the client's %q", telemetry.TraceHeader, got, trace)
+	}
+	jobID := resp.Header.Get("X-Job-Id")
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if strings.Contains(sc.Text(), trace) {
+			t.Errorf("trace id leaked into the merged stream: %s", sc.Text())
+		}
+		lines = append(lines, sc.Text())
+	}
+	if _, raw, tr := parseMerged(t, lines); len(raw) != 12 || !tr.Done || tr.Err != "" {
+		t.Fatalf("merged stream: %d lines, trailer %+v", len(raw), tr)
+	}
+
+	// Coordinator's half, by trace id and equivalently by job id.
+	coordSpans := getSpans(t, coord.URL, trace)
+	if len(coordSpans) == 0 {
+		t.Fatal("coordinator retained no spans for the trace")
+	}
+	if byJob := getSpans(t, coord.URL, jobID); len(byJob) != len(coordSpans) {
+		t.Errorf("job id %q indexes %d spans, trace id %d", jobID, len(byJob), len(coordSpans))
+	}
+	names := map[string]int{}
+	shardSet := map[string]bool{sh1.URL: true, sh2.URL: true}
+	chunkRuns := 0
+	for _, sp := range coordSpans {
+		if sp.Trace != trace {
+			t.Errorf("coordinator span %q has trace %q", sp.Name, sp.Trace)
+		}
+		names[sp.Name]++
+		if sp.Name == "chunk" {
+			chunkRuns += sp.Runs
+			if !shardSet[sp.Shard] {
+				t.Errorf("chunk span names unknown shard %q", sp.Shard)
+			}
+			if sp.Attempt < 1 {
+				t.Errorf("chunk span without an attempt: %+v", sp)
+			}
+		}
+	}
+	for _, want := range []string{"admit", "plan", "chunk", "job"} {
+		if names[want] == 0 {
+			t.Errorf("coordinator recorded no %q span; have %v", want, names)
+		}
+	}
+	if names["chunk"] != 3 || chunkRuns != 12 {
+		t.Errorf("chunk spans cover %d runs in %d spans, want 12 in 3 (12 runs / chunk-runs 4)",
+			chunkRuns, names["chunk"])
+	}
+
+	// The shards' halves, fetched by the SAME fabric-wide id. Between
+	// them they must hold the engine's rung-tagged dispatch spans for
+	// every run.
+	engineRuns, shardJobs := 0, 0
+	for _, sh := range []*httptest.Server{sh1, sh2} {
+		for _, sp := range getSpans(t, sh.URL, trace) {
+			if sp.Trace != trace {
+				t.Errorf("shard span %q has trace %q", sp.Name, sp.Trace)
+			}
+			switch {
+			case strings.HasPrefix(sp.Name, "engine."):
+				engineRuns += sp.Runs
+				ok := false
+				for _, r := range campaign.Rungs {
+					ok = ok || r == sp.Rung
+				}
+				if !ok {
+					t.Errorf("engine span rung %q not in %v", sp.Rung, campaign.Rungs)
+				}
+			case sp.Name == "job":
+				shardJobs++
+			}
+		}
+	}
+	if engineRuns != 12 {
+		t.Errorf("shard engine spans cover %d runs, want all 12", engineRuns)
+	}
+	if shardJobs == 0 {
+		t.Error("no shard recorded a job span under the fabric trace id")
+	}
+}
+
+// TestClusterPrometheusExposition: after a merged job, both tiers'
+// ?format=prometheus renderings pass the strict validator, and the
+// coordinator's carries per-shard labeled series for each worker.
+func TestClusterPrometheusExposition(t *testing.T) {
+	sh1, sh2 := newShardServer(t), newShardServer(t)
+	coord := newCoordServer(t, cluster.Config{
+		Shards:    []string{sh1.URL, sh2.URL},
+		ChunkRuns: 4,
+	})
+	src, err := machines.SieveSpec(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status, lines := postJob(t, coord.URL, service.JobRequest{Spec: src, Runs: 8, Cycles: 200}); status != http.StatusOK {
+		t.Fatalf("job status %d: %v", status, lines)
+	}
+
+	fetch := func(url string) string {
+		resp, err := http.Get(url + "/metrics?format=prometheus")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != telemetry.ContentType {
+			t.Errorf("%s: content type %q, want %q", url, ct, telemetry.ContentType)
+		}
+		text, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := telemetry.ValidateExposition(text); err != nil {
+			t.Fatalf("%s: exposition invalid: %v\n%s", url, err, text)
+		}
+		return string(text)
+	}
+
+	coordText := fetch(coord.URL)
+	for _, want := range []string{
+		"asimcoord_jobs_accepted_total 1",
+		"asimcoord_runs_merged_total 8",
+		`asimcoord_shard_healthy{shard="` + sh1.URL + `"}`,
+		`asimcoord_shard_healthy{shard="` + sh2.URL + `"}`,
+		"asimcoord_chunk_latency_seconds_bucket{le=",
+	} {
+		if !strings.Contains(coordText, want) {
+			t.Errorf("coordinator exposition missing %q", want)
+		}
+	}
+	for _, sh := range []*httptest.Server{sh1, sh2} {
+		text := fetch(sh.URL)
+		if !strings.Contains(text, "asimd_jobs_chunked_total") {
+			t.Errorf("shard exposition missing asimd_jobs_chunked_total")
+		}
+	}
+}

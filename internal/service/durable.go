@@ -36,6 +36,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/durable"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // nextJobID allocates a fresh job id. Recover advances the sequence
@@ -467,6 +468,7 @@ func (s *Server) completeJob(id string, jr *jobRun) {
 	eng := s.cfg.Engine
 	eng.Checkpoint = &storeCheckpointer{s: s, job: id, idx: idx}
 	eng.CheckpointEvery = s.cfg.checkpointCycles()
+	eng.Observe = s.observeDispatch(id)
 
 	deadline := s.cfg.defaultDeadline()
 	if req.DeadlineMS > 0 {
@@ -477,6 +479,10 @@ func (s *Server) completeJob(id string, jr *jobRun) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), deadline)
 	defer cancel()
+	// A background completion has no client request to carry a trace
+	// id; it gets a fresh one so its spans still group in the ring.
+	trace := telemetry.NewTraceID()
+	ctx = telemetry.WithTrace(ctx, trace)
 
 	t0 := time.Now()
 	results, execErr := eng.ExecuteStream(ctx, todo, func(res campaign.Result) {
@@ -497,6 +503,7 @@ func (s *Server) completeJob(id string, jr *jobRun) {
 	s.met.runsTotal.Add(int64(sum.Runs))
 	s.met.cyclesTotal.Add(sum.Cycles)
 	s.met.busyNanos.Add(int64(elapsed))
+	outcome := "completed"
 	switch {
 	case execErr == nil:
 		s.met.jobsCompleted.Add(1)
@@ -504,10 +511,20 @@ func (s *Server) completeJob(id string, jr *jobRun) {
 	case errors.Is(execErr, context.Canceled):
 		// Only possible if the whole server is shutting down; the next
 		// process's Recover picks the job up again.
+		outcome = "interrupted"
 	default:
 		s.met.jobsFailed.Add(1)
 		s.persistDone(id, execErr)
+		outcome = "failed"
 	}
+	errStr := ""
+	if execErr != nil {
+		errStr = execErr.Error()
+	}
+	s.tracer.Record(telemetry.Timed(telemetry.Span{
+		Trace: trace, Job: id, Name: "job", Runs: sum.Runs, Cycles: sum.Cycles, Err: errStr}, t0))
+	s.log.Info("background completion finished", "job", id, "trace", trace,
+		"outcome", outcome, "runs", sum.Runs, "cycles", sum.Cycles, "elapsed", elapsed)
 }
 
 // Recover replays the durable store after a restart: every job with

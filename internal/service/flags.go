@@ -31,6 +31,10 @@ type Flags struct {
 	AOTDir           string
 	AOTThreshold     int64
 	Shard            bool
+	Pprof            bool
+	TraceOut         string
+	LogLevel         string
+	LogFormat        string
 }
 
 // RegisterFlags declares every asimd flag on fs with its default and
@@ -57,6 +61,10 @@ func RegisterFlags(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.AOTDir, "aot-dir", "", "worker binary cache directory (default: a per-process temp dir)")
 	fs.Int64Var(&f.AOTThreshold, "aot-threshold", campaign.DefaultAOTThreshold, "campaign cycles x runs below which compiled-aot jobs stay in-process (0 = always use workers)")
 	fs.BoolVar(&f.Shard, "shard", false, "accept the cluster shard protocol (chunk-scoped jobs with streamed checkpoints) from an asimcoord coordinator")
+	fs.BoolVar(&f.Pprof, "pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write the retained trace spans as Chrome trace_event JSON to this file on shutdown (open in chrome://tracing or Perfetto)")
+	fs.StringVar(&f.LogLevel, "log-level", "info", "structured log level: debug, info, warn or error")
+	fs.StringVar(&f.LogFormat, "log-format", "text", "structured log format: text or json")
 	return f
 }
 
@@ -77,5 +85,6 @@ func (f *Flags) Config() Config {
 		WriteTimeout:     f.WriteTimeout,
 		CheckpointCycles: f.CheckpointCycles,
 		ShardMode:        f.Shard,
+		Pprof:            f.Pprof,
 	}
 }

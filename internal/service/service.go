@@ -31,6 +31,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -39,6 +40,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/durable"
+	"repro/internal/telemetry"
 )
 
 // Config parameterizes a Server. The zero value of every field picks
@@ -105,6 +107,22 @@ type Config struct {
 	// the protocol exposes machine-state bytes and is meant for a
 	// coordinator, not arbitrary clients. asimd's -shard flag sets it.
 	ShardMode bool
+
+	// Tracer receives a span for every job phase — admit, compile,
+	// execution, and each engine dispatch tagged with its rung — and
+	// serves them back at GET /v1/trace/{job}. Nil builds a default
+	// bounded ring; tracing never alters the result stream's bytes.
+	Tracer *telemetry.Tracer
+
+	// Log is the server's structured logger; nil discards. Job
+	// lifecycle events log with job/trace fields at debug and info,
+	// failures at warn.
+	Log *slog.Logger
+
+	// Pprof mounts net/http/pprof under /debug/pprof/ when set
+	// (asimd's -pprof flag). Off by default: profiling endpoints leak
+	// implementation detail and belong behind an operator's decision.
+	Pprof bool
 }
 
 func (c Config) maxConcurrent() int { return defInt(c.MaxConcurrent, 2) }
@@ -166,27 +184,58 @@ type Server struct {
 
 	jobSeq atomic.Int64
 	met    counters
+
+	tracer *telemetry.Tracer
+	log    *slog.Logger
+	start  time.Time
+
+	jobLatency *telemetry.Histogram
+	queueWait  *telemetry.Histogram
+	writeStall *telemetry.Histogram
 }
+
+// DefaultTraceSpans is the trace ring capacity New uses when the
+// config does not bring its own Tracer.
+const DefaultTraceSpans = 8192
 
 // New builds a Server from the config.
 func New(cfg Config) *Server {
 	s := &Server{
-		cfg:     cfg,
-		cache:   cfg.Cache,
-		store:   cfg.Store,
-		slots:   make(chan struct{}, cfg.maxConcurrent()),
-		running: map[string]*jobRun{},
+		cfg:        cfg,
+		cache:      cfg.Cache,
+		store:      cfg.Store,
+		slots:      make(chan struct{}, cfg.maxConcurrent()),
+		running:    map[string]*jobRun{},
+		tracer:     cfg.Tracer,
+		log:        cfg.Log,
+		start:      time.Now(),
+		jobLatency: telemetry.NewHistogram(telemetry.LatencyBuckets()...),
+		queueWait:  telemetry.NewHistogram(telemetry.LatencyBuckets()...),
+		writeStall: telemetry.NewHistogram(telemetry.LatencyBuckets()...),
 	}
 	if s.cache == nil {
 		s.cache = core.NewProgramCache()
 	}
+	if s.tracer == nil {
+		s.tracer = telemetry.NewTracer(DefaultTraceSpans)
+	}
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJob)
 	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	s.mux.HandleFunc("GET /v1/trace/{job}", s.handleTrace)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.Pprof {
+		telemetry.RegisterPprof(s.mux)
+	}
 	return s
 }
+
+// Tracer returns the server's span ring (for -trace-out export).
+func (s *Server) Tracer() *telemetry.Tracer { return s.tracer }
 
 // Cache returns the server's shared program cache.
 func (s *Server) Cache() *core.ProgramCache { return s.cache }
@@ -199,8 +248,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", telemetry.ContentType)
+		_, _ = w.Write(s.PromMetrics())
+		return
+	}
 	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// handleTrace serves the spans the server recorded for one job as
+// NDJSON, newest spans last. The path accepts either the server's own
+// job id or a fabric-wide trace id — a coordinator's client holds the
+// latter, never the shard-local ids.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	spans := s.tracer.ForJob(r.PathValue("job"))
+	if len(spans) == 0 {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no spans for that job or trace id"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for _, sp := range spans {
+		_ = enc.Encode(sp)
+	}
 }
 
 func (s *Server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
@@ -248,6 +319,16 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Every job gets a trace id: the client's (propagated from the
+	// X-Asim-Trace header — this is how a coordinator's id reaches
+	// shard spans) or a fresh one. It rides the response header and
+	// the span ring only, never the NDJSON stream.
+	arrived := time.Now()
+	trace := r.Header.Get(telemetry.TraceHeader)
+	if trace == "" {
+		trace = telemetry.NewTraceID()
+	}
+
 	// The id is allocated before admission so a queued job can be
 	// spilled to the durable store under its final name.
 	id := s.nextJobID()
@@ -264,6 +345,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		if s.queued.Add(1) > int64(s.cfg.maxQueue()) {
 			s.queued.Add(-1)
 			s.met.jobsRejected.Add(1)
+			s.log.Warn("job rejected", "job", id, "trace", trace, "reason", "queue full")
 			w.Header().Set("Retry-After", "1")
 			writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "queue full"})
 			return
@@ -289,14 +371,24 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	if !persisted {
 		s.persistAdmit(id, req)
 	}
+	queueWait := time.Since(arrived)
+	s.queueWait.Observe(queueWait.Seconds())
+	s.tracer.Record(telemetry.Timed(telemetry.Span{Trace: trace, Job: id, Name: "admit"}, arrived))
 
+	compileStart := time.Now()
 	job, err := s.newJob(id, req)
 	if err != nil {
 		s.met.jobsBad.Add(1)
+		s.tracer.Record(telemetry.Timed(telemetry.Span{
+			Trace: trace, Job: id, Name: "compile", Err: err.Error()}, compileStart))
+		s.log.Warn("job bad", "job", id, "trace", trace, "err", err)
 		s.dropJob(id)
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
+	s.tracer.Record(telemetry.Timed(telemetry.Span{
+		Trace: trace, Job: id, Name: "compile", Runs: len(job.runs), Cache: job.header.Cache}, compileStart))
+	s.log.Debug("job admitted", "job", id, "trace", trace, "runs", len(job.runs), "queue_wait", queueWait)
 
 	s.met.jobsAccepted.Add(1)
 	if req.Chunk != nil {
@@ -317,18 +409,22 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), deadline)
 	defer cancel()
+	ctx = telemetry.WithTrace(ctx, trace)
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Job-Id", job.header.Job)
+	w.Header().Set(telemetry.TraceHeader, trace)
 	out := &lineWriter{
 		w:       w,
 		rc:      http.NewResponseController(w),
 		timeout: s.cfg.writeTimeout(),
 		cancel:  cancel,
+		stall:   s.writeStall,
 	}
 	out.line(job.header)
 
 	eng := s.cfg.Engine
+	eng.Observe = s.observeDispatch(id)
 	var cks []campaign.Checkpointer
 	if s.store != nil {
 		cks = append(cks, &storeCheckpointer{s: s, job: id, idx: job.idx})
@@ -371,6 +467,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 
 	sum := campaign.Summarize(results, elapsed)
 	trailer := JobTrailer{Done: true, Summary: sum}
+	outcome := "completed"
 	switch {
 	case execErr == nil:
 		s.met.jobsCompleted.Add(1)
@@ -381,17 +478,24 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		// is written, so a resume (or restart recovery) finishes it.
 		trailer.Err = execErr.Error()
 		s.met.jobsAbandoned.Add(1)
+		outcome = "abandoned"
 	default:
 		// Deadline exceeded or an engine error: the job genuinely
 		// finished, unsuccessfully.
 		trailer.Err = execErr.Error()
 		s.met.jobsFailed.Add(1)
 		s.persistDone(id, execErr)
+		outcome = "failed"
 	}
 	s.met.runsTotal.Add(int64(sum.Runs))
 	s.met.cyclesTotal.Add(sum.Cycles)
 	s.met.busyNanos.Add(int64(elapsed))
 	out.line(trailer)
+	s.jobLatency.ObserveSince(arrived)
+	s.tracer.Record(telemetry.Timed(telemetry.Span{
+		Trace: trace, Job: id, Name: "job", Runs: sum.Runs, Cycles: sum.Cycles, Err: trailer.Err}, t0))
+	s.log.Info("job finished", "job", id, "trace", trace, "outcome", outcome,
+		"runs", sum.Runs, "cycles", sum.Cycles, "elapsed", elapsed)
 	// The per-line write deadline is connection state, not request
 	// state: left set, it would poison the next request on a
 	// keep-alive connection once it expires.
@@ -400,6 +504,22 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	// Everything delivered: the durable record served its purpose.
 	if execErr == nil && out.failed() == nil {
 		s.dropJob(id)
+	}
+}
+
+// observeDispatch builds the engine hook for one job: every dispatch
+// unit lands on the per-rung meters and in the trace ring as an
+// engine span, tagged with the rung it resolved to. The trace id
+// comes through the execution context, where handleJob (or a
+// coordinator, via the shard protocol) put it.
+func (s *Server) observeDispatch(id string) func(context.Context, campaign.Dispatch) {
+	return func(ctx context.Context, d campaign.Dispatch) {
+		s.met.noteDispatch(d)
+		s.tracer.Record(telemetry.Span{
+			Trace: telemetry.TraceID(ctx), Job: id, Name: "engine." + d.Rung,
+			StartUS: d.Start.UnixMicro(), DurUS: d.Dur.Microseconds(),
+			Rung: d.Rung, Runs: d.Runs, Lanes: d.Runs, Cycles: d.Cycles,
+		})
 	}
 }
 
@@ -418,6 +538,7 @@ type lineWriter struct {
 	rc      *http.ResponseController
 	timeout time.Duration
 	cancel  context.CancelFunc
+	stall   *telemetry.Histogram // per-line write+flush time; nil skips
 	err     error
 }
 
@@ -438,9 +559,15 @@ func (lw *lineWriter) raw(data []byte) {
 	if lw.err != nil {
 		return
 	}
+	start := time.Now()
 	// Best-effort: a ResponseWriter without deadline support just
 	// writes unbounded, as before.
 	_ = lw.rc.SetWriteDeadline(time.Now().Add(lw.timeout))
+	defer func() {
+		if lw.stall != nil {
+			lw.stall.ObserveSince(start)
+		}
+	}()
 	if _, err := lw.w.Write(data); err != nil {
 		lw.failLocked(err)
 		return

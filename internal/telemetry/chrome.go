@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry in the Chrome trace_event format, the JSON
+// dialect both chrome://tracing and Perfetto open directly.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"` // microseconds
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace renders spans as Chrome trace_event JSON. Each
+// distinct (trace, job) pair becomes its own named thread row so a
+// campaign's chunks and engine dispatches stack visually under the
+// job that issued them. Timestamps are rebased to the earliest span
+// so the viewport opens at t=0.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	base := int64(0)
+	for i, sp := range spans {
+		if i == 0 || sp.StartUS < base {
+			base = sp.StartUS
+		}
+	}
+	tids := make(map[string]int)
+	var events []chromeEvent
+	for _, sp := range spans {
+		key := sp.Trace + "/" + sp.Job
+		tid, ok := tids[key]
+		if !ok {
+			tid = len(tids) + 1
+			tids[key] = tid
+			label := "trace " + sp.Trace
+			if sp.Job != "" {
+				label += " job " + sp.Job
+			}
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+				Args: map[string]any{"name": label},
+			})
+		}
+		args := map[string]any{"trace": sp.Trace}
+		if sp.Job != "" {
+			args["job"] = sp.Job
+		}
+		if sp.Rung != "" {
+			args["rung"] = sp.Rung
+		}
+		if sp.Shard != "" {
+			args["shard"] = sp.Shard
+		}
+		if sp.Attempt != 0 {
+			args["attempt"] = sp.Attempt
+		}
+		if sp.Runs != 0 {
+			args["runs"] = sp.Runs
+		}
+		if sp.Lanes != 0 {
+			args["lanes"] = sp.Lanes
+		}
+		if sp.Cycles != 0 {
+			args["cycles"] = sp.Cycles
+		}
+		if sp.Cache != "" {
+			args["cache"] = sp.Cache
+		}
+		if sp.Err != "" {
+			args["err"] = sp.Err
+		}
+		dur := sp.DurUS
+		if dur < 1 {
+			dur = 1 // zero-width events are invisible in the viewer
+		}
+		events = append(events, chromeEvent{
+			Name: sp.Name, Cat: "asim", Ph: "X",
+			TS: sp.StartUS - base, Dur: dur, PID: 1, TID: tid, Args: args,
+		})
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Ph != events[j].Ph {
+			return events[i].Ph == "M" // metadata first
+		}
+		return events[i].TS < events[j].TS
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events})
+}

@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket histogram with lock-free observation:
+// one atomic add per Observe plus one CAS loop for the running sum.
+// Bounds are upper edges in ascending order; values above the last
+// bound land in an implicit +Inf overflow bucket.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf overflow
+	sum    atomic.Uint64  // float64 bits
+}
+
+// NewHistogram returns a histogram over the given ascending upper
+// bounds. It panics on unsorted bounds — bucket layouts are fixed at
+// construction, so this is a programming error, not an input error.
+func NewHistogram(bounds ...float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// LatencyBuckets is the shared bucket layout for the fabric's latency
+// and stall histograms: 1ms to ~100s in roughly 1-2.5-5 steps, wide
+// enough for a multi-billion-cycle campaign and fine enough to read a
+// p99 queue wait off the cumulative counts.
+func LatencyBuckets() []float64 {
+	return []float64{
+		0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+		0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed time since start, in seconds.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Bucket is one cumulative bucket in a snapshot: N observations were
+// less than or equal to the upper edge LE.
+type Bucket struct {
+	LE float64 `json:"le"`
+	N  int64   `json:"n"`
+}
+
+// HistogramSnapshot is a point-in-time view of a histogram. Buckets
+// cover the finite bounds only, cumulatively; Count is the grand
+// total including overflow, so Count doubles as the +Inf bucket. The
+// cumulative counts are rebuilt from the per-bucket atomics in one
+// pass, which keeps them monotone even under concurrent observation.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	snap := HistogramSnapshot{Buckets: make([]Bucket, len(h.bounds))}
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		snap.Buckets[i] = Bucket{LE: b, N: cum}
+	}
+	snap.Count = cum + h.counts[len(h.bounds)].Load()
+	snap.Sum = math.Float64frombits(h.sum.Load())
+	return snap
+}

@@ -1,0 +1,270 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prom builds a Prometheus text exposition (format version 0.0.4)
+// without external dependencies. Families are emitted in call order,
+// each with its # HELP / # TYPE pair; ValidateExposition below checks
+// the same grammar, so the writer and the e2e validator can't drift
+// apart silently.
+type Prom struct {
+	b strings.Builder
+}
+
+// ContentType is the value to serve with a text exposition.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func (p *Prom) header(name, typ, help string) {
+	fmt.Fprintf(&p.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Counter emits a single-sample counter family.
+func (p *Prom) Counter(name, help string, v float64) {
+	p.header(name, "counter", help)
+	fmt.Fprintf(&p.b, "%s %s\n", name, promFloat(v))
+}
+
+// Gauge emits a single-sample gauge family.
+func (p *Prom) Gauge(name, help string, v float64) {
+	p.header(name, "gauge", help)
+	fmt.Fprintf(&p.b, "%s %s\n", name, promFloat(v))
+}
+
+// LabeledValue is one sample of a labeled family: Label is the label
+// value (the label name is given per family), V the sample value.
+type LabeledValue struct {
+	Label string
+	V     float64
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// CounterVec emits a counter family with one label dimension.
+func (p *Prom) CounterVec(name, help, label string, samples []LabeledValue) {
+	p.header(name, "counter", help)
+	for _, s := range samples {
+		fmt.Fprintf(&p.b, "%s{%s=%q} %s\n", name, label, escapeLabel(s.Label), promFloat(s.V))
+	}
+}
+
+// GaugeVec emits a gauge family with one label dimension.
+func (p *Prom) GaugeVec(name, help, label string, samples []LabeledValue) {
+	p.header(name, "gauge", help)
+	for _, s := range samples {
+		fmt.Fprintf(&p.b, "%s{%s=%q} %s\n", name, label, escapeLabel(s.Label), promFloat(s.V))
+	}
+}
+
+// Histogram emits a histogram family from a snapshot: cumulative
+// _bucket samples over the finite bounds, the +Inf bucket (equal to
+// _count by construction), then _sum and _count.
+func (p *Prom) Histogram(name, help string, s HistogramSnapshot) {
+	p.header(name, "histogram", help)
+	for _, b := range s.Buckets {
+		fmt.Fprintf(&p.b, "%s_bucket{le=%q} %d\n", name, promFloat(b.LE), b.N)
+	}
+	fmt.Fprintf(&p.b, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+	fmt.Fprintf(&p.b, "%s_sum %s\n", name, promFloat(s.Sum))
+	fmt.Fprintf(&p.b, "%s_count %d\n", name, s.Count)
+}
+
+// Bytes returns the accumulated exposition.
+func (p *Prom) Bytes() []byte {
+	return []byte(p.b.String())
+}
+
+var (
+	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleRE     = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (\S+)$`)
+	labelRE      = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+)
+
+type promFamily struct {
+	typ     string
+	help    bool
+	samples int
+	// histogram bookkeeping
+	buckets  []Bucket // in emission order, le parsed
+	infN     int64
+	hasInf   bool
+	sum      float64
+	hasSum   bool
+	count    int64
+	hasCount bool
+}
+
+// ValidateExposition strictly checks a Prometheus text exposition:
+// every sample must belong to a family declared with a # HELP and
+// # TYPE pair, metric and label names must be well-formed, histogram
+// buckets must carry ascending le edges with monotone non-decreasing
+// cumulative counts, a +Inf bucket must be present and equal _count,
+// and counters must be finite and non-negative. The e2e suites run
+// it against live /metrics?format=prometheus responses.
+func ValidateExposition(data []byte) error {
+	fams := make(map[string]*promFamily)
+	baseOf := func(name string) (string, string) {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if base != name {
+				if f, ok := fams[base]; ok && f.typ == "histogram" {
+					return base, suf
+				}
+			}
+		}
+		return name, ""
+	}
+	lines := strings.Split(string(data), "\n")
+	for ln, line := range lines {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 3 || (parts[1] != "HELP" && parts[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			name := parts[2]
+			if !metricNameRE.MatchString(name) {
+				return fmt.Errorf("line %d: bad metric name %q", lineNo, name)
+			}
+			f := fams[name]
+			if f == nil {
+				f = &promFamily{}
+				fams[name] = f
+			}
+			if parts[1] == "HELP" {
+				if len(parts) < 4 || strings.TrimSpace(parts[3]) == "" {
+					return fmt.Errorf("line %d: HELP for %s has no text", lineNo, name)
+				}
+				f.help = true
+			} else {
+				if f.typ != "" {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				switch typ := parts[3]; typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					f.typ = typ
+				default:
+					return fmt.Errorf("line %d: unknown TYPE %q for %s", lineNo, parts[3], name)
+				}
+				if !f.help {
+					return fmt.Errorf("line %d: TYPE for %s precedes its HELP", lineNo, name)
+				}
+			}
+			continue
+		}
+		m := sampleRE.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample %q", lineNo, line)
+		}
+		name, labels, valStr := m[1], m[3], m[4]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: bad value %q: %v", lineNo, valStr, err)
+		}
+		var le string
+		if labels != "" {
+			for _, lv := range strings.Split(labels, ",") {
+				lm := labelRE.FindStringSubmatch(strings.TrimSpace(lv))
+				if lm == nil {
+					return fmt.Errorf("line %d: malformed label %q", lineNo, lv)
+				}
+				if lm[1] == "le" {
+					le = lm[2]
+				}
+			}
+		}
+		base, suffix := baseOf(name)
+		f, ok := fams[base]
+		if !ok || !f.help || f.typ == "" {
+			return fmt.Errorf("line %d: sample %s has no preceding HELP/TYPE pair", lineNo, name)
+		}
+		f.samples++
+		switch {
+		case f.typ == "counter":
+			if math.IsNaN(val) || val < 0 {
+				return fmt.Errorf("line %d: counter %s has invalid value %s", lineNo, name, valStr)
+			}
+		case f.typ == "histogram" && suffix == "_bucket":
+			if le == "" {
+				return fmt.Errorf("line %d: histogram bucket %s lacks an le label", lineNo, name)
+			}
+			if le == "+Inf" {
+				f.hasInf, f.infN = true, int64(val)
+				break
+			}
+			edge, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: bad le %q: %v", lineNo, le, err)
+			}
+			f.buckets = append(f.buckets, Bucket{LE: edge, N: int64(val)})
+		case f.typ == "histogram" && suffix == "_sum":
+			f.hasSum, f.sum = true, val
+		case f.typ == "histogram" && suffix == "_count":
+			f.hasCount, f.count = true, int64(val)
+		}
+	}
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fams[name]
+		if f.typ == "" || !f.help {
+			return fmt.Errorf("family %s lacks a HELP/TYPE pair", name)
+		}
+		if f.samples == 0 {
+			return fmt.Errorf("family %s declares HELP/TYPE but has no samples", name)
+		}
+		if f.typ != "histogram" {
+			continue
+		}
+		if !f.hasInf {
+			return fmt.Errorf("histogram %s has no +Inf bucket", name)
+		}
+		if !f.hasSum || !f.hasCount {
+			return fmt.Errorf("histogram %s lacks _sum or _count", name)
+		}
+		if f.count != f.infN {
+			return fmt.Errorf("histogram %s: _count %d != +Inf bucket %d", name, f.count, f.infN)
+		}
+		prev := Bucket{LE: math.Inf(-1), N: 0}
+		for _, b := range f.buckets {
+			if b.LE <= prev.LE {
+				return fmt.Errorf("histogram %s: bucket edges not ascending (%g after %g)", name, b.LE, prev.LE)
+			}
+			if b.N < prev.N {
+				return fmt.Errorf("histogram %s: cumulative counts decrease at le=%g (%d < %d)", name, b.LE, b.N, prev.N)
+			}
+			prev = b
+		}
+		if prev.N > f.infN {
+			return fmt.Errorf("histogram %s: finite bucket %d exceeds +Inf bucket %d", name, prev.N, f.infN)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,358 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerRingBounds(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(Span{Trace: "t", Name: "s", StartUS: int64(i)})
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("ring retained %d spans, want 4", len(spans))
+	}
+	for i, sp := range spans {
+		if want := int64(6 + i); sp.StartUS != want {
+			t.Errorf("span %d: StartUS = %d, want %d (oldest-first order)", i, sp.StartUS, want)
+		}
+	}
+	if tr.Dropped() != 6 {
+		t.Errorf("Dropped = %d, want 6", tr.Dropped())
+	}
+	if tr.Len() != 4 {
+		t.Errorf("Len = %d, want 4", tr.Len())
+	}
+}
+
+func TestTracerForJobMatchesJobOrTrace(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Record(Span{Trace: "abc", Job: "j1", Name: "a"})
+	tr.Record(Span{Trace: "abc", Job: "j2", Name: "b"})
+	tr.Record(Span{Trace: "zzz", Job: "j3", Name: "c"})
+	if got := len(tr.ForJob("j1")); got != 1 {
+		t.Errorf("ForJob(j1) = %d spans, want 1", got)
+	}
+	if got := len(tr.ForJob("abc")); got != 2 {
+		t.Errorf("ForJob(abc) = %d spans, want 2 (trace-id match)", got)
+	}
+	if got := tr.ForJob("nope"); got != nil {
+		t.Errorf("ForJob(nope) = %v, want nil", got)
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(Span{Name: "x"})
+	if tr.Spans() != nil || tr.ForJob("x") != nil || tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer should observe nothing")
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Record(Span{Trace: "t", Name: "s"})
+				tr.Spans()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 64 {
+		t.Fatalf("Len = %d, want 64", tr.Len())
+	}
+}
+
+func TestNewTraceIDUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if len(id) != 16 {
+			t.Fatalf("trace id %q has length %d, want 16", id, len(id))
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	ctx := context.Background()
+	if TraceID(ctx) != "" {
+		t.Fatal("empty context should carry no trace id")
+	}
+	ctx = WithTrace(ctx, "deadbeef")
+	if got := TraceID(ctx); got != "deadbeef" {
+		t.Fatalf("TraceID = %q, want deadbeef", got)
+	}
+	if WithTrace(context.Background(), "") != context.Background() {
+		t.Fatal("WithTrace(\"\") should be a no-op")
+	}
+}
+
+func TestTimed(t *testing.T) {
+	start := time.Now().Add(-time.Second)
+	sp := Timed(Span{Name: "x"}, start)
+	if sp.StartUS != start.UnixMicro() {
+		t.Errorf("StartUS = %d, want %d", sp.StartUS, start.UnixMicro())
+	}
+	if sp.DurUS < 900_000 {
+		t.Errorf("DurUS = %d, want ~1s", sp.DurUS)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	spans := []Span{
+		{Trace: "t1", Job: "j1", Name: "job", StartUS: 1000, DurUS: 500, Runs: 4},
+		{Trace: "t1", Job: "j1", Name: "engine.scalar", StartUS: 1100, DurUS: 50, Rung: "scalar", Cycles: 99},
+		{Trace: "t1", Job: "", Name: "admit", StartUS: 900, DurUS: 0},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	var meta, x int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			meta++
+		case "X":
+			x++
+			if ev["ts"].(float64) < 0 {
+				t.Errorf("event %v has negative rebased ts", ev)
+			}
+			if ev["dur"].(float64) < 1 {
+				t.Errorf("event %v has sub-microsecond dur", ev)
+			}
+		default:
+			t.Errorf("unexpected phase %v", ev["ph"])
+		}
+	}
+	if x != 3 {
+		t.Errorf("got %d X events, want 3", x)
+	}
+	if meta != 2 {
+		t.Errorf("got %d thread_name metadata events, want 2 (two distinct trace/job rows)", meta)
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	h := NewHistogram(0.1, 1, 10)
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Errorf("Count = %d, want 5", s.Count)
+	}
+	if math.Abs(s.Sum-56.05) > 1e-9 {
+		t.Errorf("Sum = %g, want 56.05", s.Sum)
+	}
+	want := []Bucket{{0.1, 1}, {1, 3}, {10, 4}}
+	for i, b := range s.Buckets {
+		if b != want[i] {
+			t.Errorf("bucket %d = %+v, want %+v", i, b, want[i])
+		}
+	}
+}
+
+func TestHistogramBoundaryValuesAreInclusive(t *testing.T) {
+	h := NewHistogram(1, 2)
+	h.Observe(1) // le="1" is an upper edge: 1 <= 1
+	h.Observe(2)
+	s := h.Snapshot()
+	if s.Buckets[0].N != 1 || s.Buckets[1].N != 2 {
+		t.Fatalf("boundary observations landed wrong: %+v", s.Buckets)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(LatencyBuckets()...)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(g) * 0.01)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != 8000 {
+		t.Fatalf("Count = %d, want 8000", s.Count)
+	}
+	if math.Abs(s.Sum-(0+1+2+3+4+5+6+7)*0.01*1000) > 1e-6 {
+		t.Fatalf("Sum = %g drifted under concurrency", s.Sum)
+	}
+}
+
+func TestNewHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unsorted bounds")
+		}
+	}()
+	NewHistogram(1, 1)
+}
+
+func TestPromWriterPassesOwnValidator(t *testing.T) {
+	h := NewHistogram(0.01, 0.1, 1)
+	h.Observe(0.05)
+	h.Observe(5)
+	var p Prom
+	p.Counter("asimd_jobs_accepted_total", "Jobs accepted.", 12)
+	p.Gauge("asimd_utilization", "Busy ratio.", 0.375)
+	p.CounterVec("asimd_rung_runs_total", "Runs per rung.", "rung", []LabeledValue{
+		{"aot", 100}, {"bit-parallel", 50}, {"lane-loop", 25}, {"scalar", 3},
+	})
+	p.GaugeVec("asimcoord_shard_healthy", "Shard health.", "shard", []LabeledValue{
+		{`http://h1:8422`, 1}, {`odd"label\x`, 0},
+	})
+	p.Histogram("asimd_job_latency_seconds", "Job latency.", h.Snapshot())
+	if err := ValidateExposition(p.Bytes()); err != nil {
+		t.Fatalf("writer output fails validator: %v\n%s", err, p.Bytes())
+	}
+	out := string(p.Bytes())
+	for _, want := range []string{
+		"# TYPE asimd_jobs_accepted_total counter",
+		`asimd_rung_runs_total{rung="aot"} 100`,
+		`asimd_job_latency_seconds_bucket{le="+Inf"} 2`,
+		"asimd_job_latency_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestValidateExpositionRejectsBrokenInput(t *testing.T) {
+	cases := map[string]string{
+		"sample without HELP/TYPE": "foo 1\n",
+		"TYPE before HELP":         "# TYPE foo counter\n# HELP foo x\nfoo 1\n",
+		"negative counter":         "# HELP foo x\n# TYPE foo counter\nfoo -1\n",
+		"bad metric name":          "# HELP 1foo x\n# TYPE 1foo counter\n1foo 1\n",
+		"unparsable value":         "# HELP foo x\n# TYPE foo gauge\nfoo abc\n",
+		"family without samples":   "# HELP foo x\n# TYPE foo counter\n",
+		"histogram missing +Inf": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"histogram count mismatch": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+		"histogram non-monotone": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"histogram edges descend": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+		"histogram missing sum": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+	}
+	for name, input := range cases {
+		if err := ValidateExposition([]byte(input)); err == nil {
+			t.Errorf("%s: validator accepted broken exposition:\n%s", name, input)
+		}
+	}
+}
+
+func TestValidateExpositionAcceptsMinimal(t *testing.T) {
+	ok := "# HELP up 1 if up.\n# TYPE up gauge\nup 1\n"
+	if err := ValidateExposition([]byte(ok)); err != nil {
+		t.Fatalf("minimal exposition rejected: %v", err)
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, "debug", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("hello", "job", "j1", "trace", "abc")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json log line does not parse: %v (%q)", err, buf.String())
+	}
+	if rec["job"] != "j1" || rec["trace"] != "abc" {
+		t.Errorf("log line missing fields: %v", rec)
+	}
+
+	buf.Reset()
+	log, err = NewLogger(&buf, "warn", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("suppressed")
+	if buf.Len() != 0 {
+		t.Errorf("info line emitted at warn level: %q", buf.String())
+	}
+	if !log.Enabled(context.Background(), slog.LevelWarn) {
+		t.Error("warn level should be enabled")
+	}
+
+	if _, err := NewLogger(&buf, "loud", "text"); err == nil {
+		t.Error("bad level accepted")
+	}
+	if _, err := NewLogger(&buf, "info", "xml"); err == nil {
+		t.Error("bad format accepted")
+	}
+}
+
+func TestRegisterPprof(t *testing.T) {
+	mux := http.NewServeMux()
+	RegisterPprof(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline: status %d", resp.StatusCode)
+	}
+
+	bare := httptest.NewServer(http.NewServeMux())
+	defer bare.Close()
+	resp2, err := http.Get(bare.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode == http.StatusOK {
+		t.Fatal("pprof reachable on a mux that never registered it")
+	}
+}
+
+func TestPeakRSSBytes(t *testing.T) {
+	// On Linux (the only platform CI runs) this must produce a real
+	// measurement; elsewhere 0 means "unknown" and is acceptable.
+	rss := PeakRSSBytes()
+	if rss < 0 {
+		t.Fatalf("PeakRSSBytes = %d, want >= 0", rss)
+	}
+	if rss == 0 {
+		t.Log("PeakRSSBytes unavailable on this platform")
+	}
+}

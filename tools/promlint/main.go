@@ -1,0 +1,58 @@
+// Command promlint is CI's Prometheus-exposition gate: it runs the
+// strict text-format validator from internal/telemetry over saved
+// /metrics?format=prometheus responses and fails on the first
+// malformed line — duplicate series, HELP/TYPE violations, bad label
+// syntax, non-numeric values, histogram buckets out of order.
+//
+//	curl -s 'localhost:8420/metrics?format=prometheus' | promlint
+//	promlint coord.prom shard1.prom shard2.prom
+//
+// With file arguments each file is validated independently and every
+// failure is reported; with none, stdin is validated. Exit status is
+// zero only when every input passes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("promlint: ")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: promlint [file ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	exit := 0
+	if flag.NArg() == 0 {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := telemetry.ValidateExposition(data); err != nil {
+			log.Printf("stdin: %v", err)
+			exit = 1
+		}
+	}
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			log.Print(err)
+			exit = 1
+			continue
+		}
+		if err := telemetry.ValidateExposition(data); err != nil {
+			log.Printf("%s: %v", path, err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
